@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure at the ``bench`` scale
+(60 k requests) through the corresponding :mod:`repro.experiments` module,
+times the full regeneration with ``benchmark.pedantic`` (one round — these
+are macro-benchmarks of whole experiments, not micro-loops), prints the
+paper-style table, and asserts the figure's headline *shape*.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SCALE = "bench"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full experiment run and return its rows."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

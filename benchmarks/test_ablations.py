@@ -1,0 +1,21 @@
+"""Bench: SCIP design ablations (DESIGN.md §5)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, scale):
+    rows = run_once(benchmark, ablations.main, scale)
+    by = {(r["ablation"], r["variant"]): r["miss_ratio"] for r in rows}
+
+    def mr(ablation, prefix):
+        return next(v for (a, var), v in by.items() if a == ablation and var.startswith(prefix))
+
+    # History reach: the literal half-cache shadow list underperforms the
+    # lifetime-preserving default at simulator scale (DESIGN.md §2).
+    assert mr("history", "hf=32") <= mr("history", "hf=0.5") + 0.005
+    # All variants stay in a sane band — no knob detonates the policy.
+    for (_, variant), v in by.items():
+        assert 0.2 < v < 0.95, variant

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 1 (ZRO/P-ZRO proportions + oracle treatment)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_zro
+
+
+def test_fig1(benchmark, scale):
+    rows = run_once(benchmark, fig1_zro.main, scale)
+    for r in rows:
+        # Treatment never hurts and both-treatment dominates (Fig 1 b/e).
+        assert r["miss_ratio_treat_zro"] <= r["miss_ratio_lru"] + 1e-9
+        assert r["miss_ratio_treat_both"] <= r["miss_ratio_treat_zro"] + 1e-9
+        # ZROs are a material share of misses everywhere (Fig 1 a).
+        assert r["zro_share_of_misses"] > 0.3
+    # CDN-A posts the worst LRU miss ratios at the coarser cache sizes
+    # (Fig 1 b); at the tiniest fractions every workload saturates and the
+    # ordering is dominated by absolute cache size.
+    for frac in (0.05, 0.10):
+        sized = [r for r in rows if r["cache_fraction"] == frac]
+        mr = {r["workload"]: r["miss_ratio_lru"] for r in sized}
+        assert mr["CDN-A"] == max(mr.values()), (frac, mr)

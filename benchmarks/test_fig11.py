@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 11 (replacement-algorithm resource profiles)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_resources_repl
+
+
+def test_fig11(benchmark, scale):
+    rows = run_once(benchmark, fig11_resources_repl.main, scale)
+    cpu = {r["policy"]: r["cpu_us_per_request"] for r in rows}
+    tps = {r["policy"]: r["tps"] for r in rows}
+    # SCIP costs more than plain LRU but far less than the heavyweight
+    # learned policies (paper Figure 11's ordering).
+    assert cpu["SCIP"] >= cpu["LRU"] * 0.9
+    assert cpu["SCIP"] < cpu["LRB"]
+    assert cpu["SCIP"] < cpu["GL-Cache"] * 2
+    # TPS ordering mirrors CPU: LRU fastest, LRB slowest of the named set.
+    assert tps["LRU"] > tps["LRB"]
+    assert tps["SCIP"] > tps["LRB"]

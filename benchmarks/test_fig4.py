@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 4 (model accuracy on ZRO / P-ZRO / both)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_models
+
+MODELS = ["LinReg", "LogReg", "SVM", "NN", "GBM", "MAB"]
+
+
+def test_fig4(benchmark, scale):
+    rows = run_once(benchmark, fig4_models.main, scale)
+    both = [r for r in rows if r["task"] == "both"]
+    # MAB leads the combined task on at least 2 of the 3 workloads.
+    wins = sum(r["MAB"] >= max(r[m] for m in MODELS) - 1e-9 for r in both)
+    assert wins >= 2
+    # ZRO identification is easier than P-ZRO on model average.  CDN-W is
+    # a documented partial (EXPERIMENTS.md): its ZRO traffic is dominated
+    # by normal-sized recurring sweeps that none of the stateless features
+    # separate, so the inversion is allowed there.
+    easier = 0
+    for wl in ("CDN-T", "CDN-W", "CDN-A"):
+        z = next(r for r in rows if r["workload"] == wl and r["task"] == "zro")
+        p = next(r for r in rows if r["workload"] == wl and r["task"] == "pzro")
+        avg = lambda r: sum(r[m] for m in MODELS) / len(MODELS)
+        easier += avg(z) > avg(p) - 0.05
+    assert easier >= 2

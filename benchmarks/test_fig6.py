@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 6 / §5.2 (TDC deployment of SCIP)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_tdc
+
+
+def test_fig6(benchmark, scale):
+    out = run_once(benchmark, fig6_tdc.main, scale)
+    # All three monitoring metrics improve after the rollout.
+    assert out["after_bto_ratio"] < out["before_bto_ratio"]
+    assert out["bto_gbps_rel_change"] < 0
+    assert out["latency_rel_change"] < 0
+    # Relative magnitudes in the paper's ballpark (tens of percent;
+    # paper: BW −25.7 %, latency −26.1 %).
+    assert out["bto_gbps_rel_change"] < -0.05
+    assert out["latency_rel_change"] < -0.05

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 7 (SCIP vs SCI, seed-averaged)."""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_scip_vs_sci
+
+
+def test_fig7(benchmark, scale):
+    rows = run_once(benchmark, fig7_scip_vs_sci.main, scale)
+    assert len(rows) == 3
+    # Direction: SCIP at least matches SCI on average across workloads.
+    # (EXPERIMENTS.md documents that our synthetic P-ZRO volume yields
+    # sub-point gaps versus the paper's 1.6–5.3 points.)
+    assert mean(r["gap"] for r in rows) > -0.01
+    for r in rows:
+        assert 0.0 < r["scip_miss_ratio"] < 1.0

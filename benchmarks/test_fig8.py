@@ -1,0 +1,45 @@
+"""Bench: regenerate Figure 8 (insertion policies × workloads × sizes)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_insertion
+
+
+def rows_for(rows, **kv):
+    return [r for r in rows if all(r[k] == v for k, v in kv.items())]
+
+
+def test_fig8(benchmark, scale):
+    rows = run_once(benchmark, fig8_insertion.main, scale)
+    workloads = {r["trace"] for r in rows}
+    for wl in workloads:
+        wl_rows = rows_for(rows, trace=wl)
+        fractions = sorted({r["cache_fraction"] for r in wl_rows})
+        for i, frac in enumerate(fractions):
+            cell = rows_for(wl_rows, cache_fraction=frac)
+            mr = {r["policy"]: r["miss_ratio"] for r in cell}
+            # Belady is the floor.
+            assert mr["Belady"] <= min(mr.values()) + 1e-9
+            # SCIP beats LIP decisively and leads or nearly leads the field:
+            # strict at the paper's default 64 GB-equivalent (where its
+            # deltas are quoted), a small band at the larger sizes (the
+            # paper's 128/256 GB panels compress all policies together).
+            assert mr["SCIP"] < mr["LIP"]
+            best = min(v for k, v in mr.items() if k != "Belady")
+            if i == 0:
+                assert mr["SCIP"] <= best + 0.02, (wl, frac)
+            else:
+                # At the 128/256 GB equivalents the size-threshold ASC-IP
+                # overtakes on two workloads (DESIGN.md §8); SCIP must
+                # still stay within a band of the field or at worst match
+                # the recency family it replaces (DIP ≈ adaptive LRU).
+                assert (
+                    mr["SCIP"] <= best + 0.04 or mr["SCIP"] <= mr["DIP"] + 0.005
+                ), (wl, frac)
+        # Larger caches help every policy (spot-check with SCIP).
+        scip_curve = [
+            rows_for(wl_rows, cache_fraction=f, policy="SCIP")[0]["miss_ratio"]
+            for f in fractions
+        ]
+        assert scip_curve[-1] < scip_curve[0]

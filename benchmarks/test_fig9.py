@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 9 (insertion-policy resource profiles)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_resources_ins
+
+SIMPLE = ("LIP", "DIP", "PIPP", "SHiP", "ASC-IP")
+LEARNED = ("DGIPPR", "DTA", "DAAIP")
+
+
+def test_fig9(benchmark, scale):
+    rows = run_once(benchmark, fig9_resources_ins.main, scale)
+    cpu = {r["policy"]: r["cpu_us_per_request"] for r in rows}
+    mem = {r["policy"]: r["metadata_bytes"] for r in rows}
+    tps = {r["policy"]: r["tps"] for r in rows}
+    # SCIP's CPU sits between the simple heuristics and the heaviest
+    # learning-based insertion policy (the paper's ordering).
+    simple_avg = sum(cpu[p] for p in SIMPLE) / len(SIMPLE)
+    assert cpu["SCIP"] >= simple_avg * 0.8
+    assert cpu["SCIP"] <= max(cpu[p] for p in LEARNED) * 1.5
+    # SCIP's memory overhead over LIP is bounded metadata, not a blow-up.
+    assert mem["SCIP"] <= mem["LIP"] * 4 + 2_000_000
+    # Everything sustains a usable request rate.
+    assert all(v > 1_000 for v in tps.values())

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the hot-path components.
+
+Unlike the figure benches (which time whole experiments), these measure the
+per-operation costs that the paper's efficiency claims rest on: O(1) queue
+ops, O(1) ghost-list ops, the per-request cost of LRU vs SCIP (the paper:
+"negligible additional overhead"), and the ML substrate's fit/predict.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.cache.queue import LinkedQueue, Node
+from repro.core.history import HistoryList
+from repro.core.scip import SCIPCache
+from repro.ml.gbm import GBMRegressor
+from repro.sim.request import Request
+
+
+@pytest.fixture(scope="module")
+def requests_100k():
+    rng = random.Random(1)
+    return [
+        Request(i, min(int(rng.paretovariate(1.1)), 5_000), rng.randint(1, 64_000))
+        for i in range(100_000)
+    ]
+
+
+def test_queue_push_pop(benchmark):
+    def run():
+        q = LinkedQueue()
+        nodes = [Node(i, 1) for i in range(10_000)]
+        for n in nodes:
+            q.push_mru(n)
+        for n in nodes[:5_000]:
+            q.move_to_mru(n)
+        while q:
+            q.pop_lru()
+
+    benchmark(run)
+
+
+def test_history_list_ops(benchmark):
+    def run():
+        h = HistoryList(1_000_000)
+        for i in range(20_000):
+            h.add(i, 100)
+            if i % 3 == 0:
+                h.delete(i - 10)
+
+    benchmark(run)
+
+
+def test_lru_request_throughput(benchmark, requests_100k):
+    def run():
+        p = LRUCache(50_000_000)
+        for r in requests_100k:
+            p.request(r)
+        return p.stats.miss_ratio
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_scip_request_throughput(benchmark, requests_100k):
+    """The paper's 'negligible additional overhead' claim: SCIP's per-
+    request cost must stay within a small factor of plain LRU's."""
+
+    def run():
+        p = SCIPCache(50_000_000)
+        for r in requests_100k:
+            p.request(r)
+        return p.stats.miss_ratio
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_gbm_fit_predict(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(2_000, 10))
+    y = X[:, 0] * 2 + np.sin(X[:, 1])
+
+    def run():
+        model = GBMRegressor(n_estimators=16, max_depth=3).fit(X, y)
+        return model.predict(X[:256]).sum()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

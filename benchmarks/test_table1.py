@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 1 (workload summaries)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_workloads
+
+
+def test_table1(benchmark, scale):
+    rows = run_once(benchmark, table1_workloads.main, scale)
+    ratio = {r["workload"]: r["req_per_obj"] for r in rows}
+    # Table 1's reuse ordering: CDN-W ≫ CDN-T > CDN-A.
+    assert ratio["CDN-W"] > ratio["CDN-T"] > ratio["CDN-A"]
+    # Mean object sizes in the paper's 30–45 KB band (±2×).
+    for r in rows:
+        assert 15 < r["mean_size_KB"] < 150

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Miss-ratio-curve analysis: size your cache before running experiments.
+
+Uses the one-pass Mattson stack algorithm (`repro.traces.mrc`) to compute
+the full LRU miss-ratio curve of each CDN workload, prints it as an ASCII
+chart, and marks where the paper's 64 GB-equivalent cache sizes sit — the
+steep region where insertion-policy intelligence pays.
+
+Run:  python examples/mrc_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.traces import make_workload, miss_ratio_curve
+
+#: The paper's 64 GB equivalents (see repro.experiments.common).
+MARKERS = {"CDN-T": 0.020, "CDN-W": 0.068, "CDN-A": 0.014}
+FRACTIONS = [0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32]
+
+
+def bar(value: float, width: int = 46) -> str:
+    n = int(value * width)
+    return "█" * n + "·" * (width - n)
+
+
+def main() -> None:
+    for name, marker in MARKERS.items():
+        trace = make_workload(name, n_requests=50_000)
+        wss = trace.working_set_size
+        sizes = [max(int(wss * f), 1) for f in FRACTIONS]
+        curve = miss_ratio_curve(trace, sizes)
+        print(f"\n{name}  (WSS {wss / 1e9:.2f} GB, one Mattson pass over "
+              f"{len(trace):,} requests)")
+        print(f"{'cache':>7s}  {'miss ratio':>10s}")
+        for f, c in zip(FRACTIONS, sizes):
+            mark = "  <- paper's 64 GB equivalent" if abs(f - marker) < 0.008 else ""
+            print(f"{f:7.1%}  {curve[c]:10.4f}  {bar(curve[c])}{mark}")
+        # Local steepness around the marker: what one doubling buys.
+        lo = max(int(wss * marker), 1)
+        hi = max(int(wss * marker * 2), 1)
+        d = miss_ratio_curve(trace, [lo, hi])
+        print(f"doubling the cache at the marker buys "
+              f"{(d[lo] - d[hi]) * 100:.1f} miss-ratio points")
+
+
+if __name__ == "__main__":
+    main()

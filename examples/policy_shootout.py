@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Policy shoot-out: the paper's Figure 8/10 comparison on your machine.
+
+Runs SCIP against the classic baselines, the insertion-policy comparators
+and the learned replacement policies on all three CDN workload profiles,
+and prints a miss-ratio leaderboard per workload (Belady = the unbeatable
+oracle floor).
+
+Run:  python examples/policy_shootout.py [n_requests]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cache import POLICIES
+from repro.core import SCICache, SCIPCache
+from repro.sim import format_table, run_grid
+from repro.traces import make_workload
+
+#: A representative cross-section of the zoo (full sets live in
+#: repro.experiments.fig8_insertion / fig10_replacement).
+LINEUP = ["Belady", "LRU", "ARC", "S4LRU", "GDSF", "LHD", "ASC-IP", "LRB", "GL-Cache"]
+
+#: The paper's 64 GB equivalents per workload (see experiments.common).
+FRACTIONS = {"CDN-T": 0.020, "CDN-W": 0.068, "CDN-A": 0.014}
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    traces = [make_workload(name, n_requests=n) for name in FRACTIONS]
+
+    factories = {name: (lambda cap, c=POLICIES[name]: c(cap)) for name in LINEUP}
+    factories["SCIP"] = lambda cap: SCIPCache(cap)
+    factories["SCI"] = lambda cap: SCICache(cap)
+
+    rows = run_grid(
+        factories, traces, {name: [frac] for name, frac in FRACTIONS.items()}
+    )
+    print(format_table(rows, row_key="policy", col_key="trace", value_key="miss_ratio"))
+
+    print("\nLeaderboard per workload (lower is better):")
+    for trace in traces:
+        ranked = sorted(
+            (r for r in rows if r["trace"] == trace.name),
+            key=lambda r: r["miss_ratio"],
+        )
+        podium = ", ".join(f"{r['policy']}={r['miss_ratio']:.3f}" for r in ranked[:4])
+        print(f"  {trace.name}: {podium}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for environments whose pip lacks the `wheel` package (editable
+installs via `pip install -e .` fall back to this legacy path)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro — reproduction of SCIP (ICPP 2023): smart cache insertion and
+promotion for content delivery networks.
+
+Public entry points:
+
+* :mod:`repro.core` — SCIP / SCI and the enhancement wrappers.
+* :mod:`repro.cache` — the cache-policy zoo (baselines + comparators).
+* :mod:`repro.sim` — the trace-driven simulator.
+* :mod:`repro.traces` — synthetic CDN workloads and ZRO/P-ZRO analysis.
+* :mod:`repro.ml` — from-scratch models (Figure 4, LRB, GL-Cache).
+* :mod:`repro.tdc` — the two-layer production-CDN simulator (Figure 6).
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.api import SmartCache  # noqa: E402  (the one-import quickstart)
+
+__all__ = ["SmartCache", "__version__"]

@@ -1,0 +1,143 @@
+"""Cache policy zoo: baselines, the paper's eight insertion/promotion
+comparators, the nine replacement comparators, and the Belady oracle.
+
+:data:`POLICIES` maps display names (as used in the paper's figures) to
+policy classes; :func:`make_policy` builds one by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.cache.admission import AdaptSizeCache, TinyLFUCache, TwoQCache
+from repro.cache.arc import ARCCache
+from repro.cache.ascip import ASCIPCache
+from repro.cache.base import CachePolicy, CacheStats, QueueCache
+from repro.cache.belady import BeladyCache
+from repro.cache.beladysize import BeladySizeCache
+from repro.cache.cacheus import CacheusCache
+from repro.cache.clock import ClockCache
+from repro.cache.daaip import DAAIPCache
+from repro.cache.dgippr import DGIPPRCache
+from repro.cache.dta import DTACache
+from repro.cache.fifo import FIFOCache
+from repro.cache.gdsf import GDSFCache
+from repro.cache.glcache import GLCache
+from repro.cache.lecar import LeCaRCache
+from repro.cache.lfu import LFUCache
+from repro.cache.lhd import LHDCache
+from repro.cache.lip import BIPCache, DIPCache, LIPCache
+from repro.cache.lirs import LIRSCache
+from repro.cache.lrb import LRBCache
+from repro.cache.lru import LRUCache
+from repro.cache.lruk import LRUKCache
+from repro.cache.pipp import PIPPCache
+from repro.cache.queue import LinkedQueue, Node
+from repro.cache.s4lru import S4LRUCache, SegmentedLRUCache
+from repro.cache.ship import SHiPCache
+from repro.cache.sieve import S3FIFOCache, SieveCache
+from repro.cache.sslru import SSLRUCache
+
+__all__ = [
+    "CachePolicy",
+    "CacheStats",
+    "QueueCache",
+    "LinkedQueue",
+    "Node",
+    "POLICIES",
+    "INSERTION_POLICIES",
+    "REPLACEMENT_POLICIES",
+    "make_policy",
+    "LRUCache",
+    "FIFOCache",
+    "LFUCache",
+    "ARCCache",
+    "LIPCache",
+    "BIPCache",
+    "DIPCache",
+    "PIPPCache",
+    "SHiPCache",
+    "DTACache",
+    "DAAIPCache",
+    "DGIPPRCache",
+    "ASCIPCache",
+    "LRUKCache",
+    "S4LRUCache",
+    "SegmentedLRUCache",
+    "SSLRUCache",
+    "GDSFCache",
+    "LHDCache",
+    "LeCaRCache",
+    "CacheusCache",
+    "LRBCache",
+    "GLCache",
+    "BeladyCache",
+    "BeladySizeCache",
+    "LIRSCache",
+    "ClockCache",
+    "SieveCache",
+    "S3FIFOCache",
+    "TwoQCache",
+    "TinyLFUCache",
+    "AdaptSizeCache",
+]
+
+#: All registered policies by display name.
+POLICIES: Dict[str, Type[CachePolicy]] = {
+    "LRU": LRUCache,
+    "FIFO": FIFOCache,
+    "LFU": LFUCache,
+    "ARC": ARCCache,
+    "LIP": LIPCache,
+    "BIP": BIPCache,
+    "DIP": DIPCache,
+    "PIPP": PIPPCache,
+    "SHiP": SHiPCache,
+    "DTA": DTACache,
+    "DAAIP": DAAIPCache,
+    "DGIPPR": DGIPPRCache,
+    "ASC-IP": ASCIPCache,
+    "LRU-K": LRUKCache,
+    "S4LRU": S4LRUCache,
+    "SS-LRU": SSLRUCache,
+    "GDSF": GDSFCache,
+    "LHD": LHDCache,
+    "LeCaR": LeCaRCache,
+    "CACHEUS": CacheusCache,
+    "LRB": LRBCache,
+    "GL-Cache": GLCache,
+    "Belady": BeladyCache,
+    "Belady-Size": BeladySizeCache,
+    "LIRS": LIRSCache,
+    "CLOCK": ClockCache,
+    "SIEVE": SieveCache,
+    "S3-FIFO": S3FIFOCache,
+    "2Q": TwoQCache,
+    "TinyLFU": TinyLFUCache,
+    "AdaptSize": AdaptSizeCache,
+}
+
+#: The paper's eight insertion/promotion comparators (Figures 8 & 9).
+INSERTION_POLICIES = ("LIP", "DIP", "PIPP", "DTA", "SHiP", "DGIPPR", "DAAIP", "ASC-IP")
+
+#: The paper's nine replacement comparators (Figures 10 & 11).
+REPLACEMENT_POLICIES = (
+    "LRU",
+    "LRU-K",
+    "S4LRU",
+    "SS-LRU",
+    "GDSF",
+    "LHD",
+    "CACHEUS",
+    "LRB",
+    "GL-Cache",
+)
+
+
+def make_policy(name: str, capacity: int, **kwargs) -> CachePolicy:
+    """Instantiate a registered policy by display name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; available: {sorted(POLICIES)}") from None
+    return cls(capacity, **kwargs)

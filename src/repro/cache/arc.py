@@ -1,0 +1,131 @@
+"""ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+
+Four lists: T1 (recent, seen once), T2 (frequent, seen ≥2×), and ghost lists
+B1/B2 holding metadata of objects recently evicted from T1/T2.  The target
+size ``p`` for T1 adapts on ghost hits.  This is the canonical "passive
+eviction policy with a multi-chain structure" the paper cites (§4) — SCIP
+explicitly does *not* integrate with it, which our enhancement tests assert.
+
+Adapted to variable object sizes: capacities and ``p`` are tracked in bytes;
+the REPLACE rule compares T1's byte occupancy against ``p``.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import CachePolicy
+from repro.cache.queue import LinkedQueue, Node
+from repro.sim.request import Request
+
+__all__ = ["ARCCache"]
+
+
+class ARCCache(CachePolicy):
+    """Size-aware ARC."""
+
+    name = "ARC"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self.t1 = LinkedQueue()
+        self.t2 = LinkedQueue()
+        self.b1 = LinkedQueue()
+        self.b2 = LinkedQueue()
+        # key -> (node, list_tag); tags: 't1' 't2' 'b1' 'b2'
+        self._where: dict = {}
+        self.p = 0  # adaptive target for t1, in bytes
+
+    # -- helpers ------------------------------------------------------------
+    def _ghost_trim(self) -> None:
+        """Bound ghost metadata.  The page-count rule (|T1|+|B1| ≤ c) maps
+        poorly to bytes — a byte-full T1 would leave zero ghost budget and
+        disable adaptation — so each ghost list gets its own byte budget of
+        one cache's worth, preserving the original's ≤ 2c total footprint
+        of *described* data while the lists themselves remain metadata."""
+        while self.b1.bytes > self.capacity and len(self.b1):
+            n = self.b1.pop_lru()
+            del self._where[n.key]
+        while self.b2.bytes > self.capacity and len(self.b2):
+            n = self.b2.pop_lru()
+            del self._where[n.key]
+
+    def _replace(self, req: Request, in_b2: bool) -> None:
+        """Evict from T1 or T2 into the matching ghost list."""
+        if len(self.t1) and (
+            self.t1.bytes > self.p or (in_b2 and self.t1.bytes == self.p)
+        ):
+            victim = self.t1.pop_lru()
+            self._where[victim.key] = (victim, "b1")
+            self.b1.push_mru(victim)
+        elif len(self.t2):
+            victim = self.t2.pop_lru()
+            self._where[victim.key] = (victim, "b2")
+            self.b2.push_mru(victim)
+        elif len(self.t1):
+            victim = self.t1.pop_lru()
+            self._where[victim.key] = (victim, "b1")
+            self.b1.push_mru(victim)
+        else:  # pragma: no cover - nothing resident
+            return
+        self.used -= victim.size
+        self.stats.evictions += 1
+
+    def _make_room(self, req: Request, in_b2: bool) -> None:
+        while self.used + req.size > self.capacity and (len(self.t1) or len(self.t2)):
+            self._replace(req, in_b2)
+
+    # -- CachePolicy ----------------------------------------------------------
+    def _lookup(self, key: int) -> bool:
+        entry = self._where.get(key)
+        return entry is not None and entry[1] in ("t1", "t2")
+
+    def _hit(self, req: Request) -> None:
+        node, tag = self._where[req.key]
+        q = self.t1 if tag == "t1" else self.t2
+        q.unlink(node)
+        if node.size != req.size:
+            self.used += req.size - node.size
+            node.size = req.size
+        self.t2.push_mru(node)
+        self._where[req.key] = (node, "t2")
+        while self.used > self.capacity and (len(self.t1) + len(self.t2)) > 1:
+            self._replace(req, in_b2=False)
+
+    def _miss(self, req: Request) -> None:
+        entry = self._where.get(req.key)
+        if entry is not None and entry[1] == "b1":
+            # Ghost hit in B1: grow p (favour recency).
+            node, _ = entry
+            delta = max(node.size, self.b2.bytes // max(len(self.b1), 1))
+            self.p = min(self.p + delta, self.capacity)
+            self.b1.unlink(node)
+            self._make_room(req, in_b2=False)
+            node.size = req.size
+            self.t2.push_mru(node)
+            self._where[req.key] = (node, "t2")
+            self.used += req.size
+        elif entry is not None and entry[1] == "b2":
+            # Ghost hit in B2: shrink p (favour frequency).
+            node, _ = entry
+            delta = max(node.size, self.b1.bytes // max(len(self.b2), 1))
+            self.p = max(self.p - delta, 0)
+            self.b2.unlink(node)
+            self._make_room(req, in_b2=True)
+            node.size = req.size
+            self.t2.push_mru(node)
+            self._where[req.key] = (node, "t2")
+            self.used += req.size
+        else:
+            # Cold miss: admit into T1.
+            self._make_room(req, in_b2=False)
+            node = Node(req.key, req.size)
+            self.t1.push_mru(node)
+            self._where[req.key] = (node, "t1")
+            self.used += req.size
+            self._ghost_trim()
+
+    def __len__(self) -> int:
+        return len(self.t1) + len(self.t2)
+
+    def metadata_bytes(self) -> int:
+        # Resident inodes plus ghost metadata (key + size ≈ 24 bytes each).
+        return 110 * len(self) + 24 * (len(self.b1) + len(self.b2))

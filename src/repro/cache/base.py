@@ -1,0 +1,274 @@
+"""Cache policy base classes.
+
+Two layers:
+
+* :class:`CachePolicy` — the abstract contract every algorithm implements:
+  ``request(req) -> bool`` (hit or miss), byte-accurate capacity accounting,
+  and built-in hit/miss counters so a policy can be used standalone.  The
+  simulation engine keeps its own counters as well, so policies cannot
+  misreport results.
+
+* :class:`QueueCache` — shared machinery for the (large) family of policies
+  whose resident set lives in a single recency queue and whose behaviour is
+  defined by three hooks: where to insert a missing object
+  (:meth:`_insert_position`), what to do on a hit (:meth:`_on_hit`), and which
+  node to evict (:meth:`_choose_victim`, default: the LRU end).  LIP, DIP,
+  BIP, PIPP, SHiP, DTA, DAAIP, DGIPPR, ASC-IP, SCI and SCIP are all
+  expressible in this frame, which is exactly the point the paper makes:
+  an insertion/promotion policy is orthogonal to victim selection.
+
+Objects larger than the cache capacity are **bypassed** (never admitted),
+matching CDN simulator convention — counting them as unavoidable misses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from repro.cache.queue import LinkedQueue, Node
+from repro.sim.request import Request
+
+__all__ = ["CacheStats", "CachePolicy", "QueueCache", "MRU_POS", "LRU_POS"]
+
+#: Insertion-position constants used by bimodal policies.
+MRU_POS = 1
+LRU_POS = 0
+
+
+class CacheStats:
+    """Hit/miss counters in both object and byte units."""
+
+    __slots__ = ("hits", "misses", "bytes_hit", "bytes_missed", "evictions", "bypasses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.bytes_hit = 0
+        self.bytes_missed = 0
+        self.evictions = 0
+        self.bypasses = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Object miss ratio; 0.0 on an empty history."""
+        n = self.requests
+        return self.misses / n if n else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        n = self.requests
+        return self.hits / n if n else 0.0
+
+    @property
+    def byte_miss_ratio(self) -> float:
+        total = self.bytes_hit + self.bytes_missed
+        return self.bytes_missed / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.bytes_hit = 0
+        self.bytes_missed = 0
+        self.evictions = 0
+        self.bypasses = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_ratio": self.miss_ratio,
+            "byte_miss_ratio": self.byte_miss_ratio,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+        }
+
+
+class CachePolicy(ABC):
+    """Abstract cache replacement algorithm.
+
+    Parameters
+    ----------
+    capacity:
+        Cache capacity in bytes.  Must be positive.
+    """
+
+    #: Human-readable policy name used in experiment tables; subclasses set it.
+    name: str = "abstract"
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.used = 0
+        self.stats = CacheStats()
+        self.clock = 0  # logical time: number of requests processed
+
+    # -- required interface --------------------------------------------------
+    @abstractmethod
+    def _lookup(self, key: int) -> bool:
+        """Whether the key is resident (no side effects)."""
+
+    @abstractmethod
+    def _hit(self, req: Request) -> None:
+        """Handle a resident request (promotion, bookkeeping)."""
+
+    @abstractmethod
+    def _miss(self, req: Request) -> None:
+        """Handle a missing request (admit/insert/evict as needed)."""
+
+    # -- template -------------------------------------------------------------
+    def request(self, req: Request) -> bool:
+        """Process one request; return ``True`` on a cache hit."""
+        self.clock += 1
+        if self._lookup(req.key):
+            self.stats.hits += 1
+            self.stats.bytes_hit += req.size
+            self._hit(req)
+            return True
+        self.stats.misses += 1
+        self.stats.bytes_missed += req.size
+        if req.size > self.capacity:
+            self.stats.bypasses += 1
+        else:
+            self._miss(req)
+        return False
+
+    def contains(self, key: int) -> bool:
+        """Public residency probe (no state change)."""
+        return self._lookup(key)
+
+    # -- introspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of resident objects (subclasses with queues override)."""
+        raise NotImplementedError
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used
+
+    def metadata_bytes(self) -> int:
+        """Estimated metadata footprint in bytes, for the Fig 9/11 memory
+        comparison.  Subclasses refine; the default charges the paper's
+        110-byte inode per resident object."""
+        return 110 * len(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(capacity={self.capacity}, used={self.used})"
+
+
+class QueueCache(CachePolicy):
+    """Base for single-recency-queue policies with pluggable insertion,
+    promotion and victim-selection hooks.
+
+    Subclasses typically override only:
+
+    * :meth:`_insert_position` → ``MRU_POS`` or ``LRU_POS`` for a missing
+      object (called once per admitted miss);
+    * :meth:`_on_hit` → promotion behaviour (default: classic move-to-MRU);
+    * :meth:`_on_evict` → observe the victim node (adaptive policies learn
+      from eviction outcomes here);
+    * :meth:`_choose_victim` → non-LRU victim selection (LRU-K, LRB, …).
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self.queue = LinkedQueue()
+        self.index: dict = {}
+
+    # -- hooks ------------------------------------------------------------------
+    def _insert_position(self, req: Request) -> int:
+        """Insertion position for a missing object; default MRU (LRU policy)."""
+        return MRU_POS
+
+    def _on_hit(self, node: Node, req: Request) -> None:
+        """Hit handling; default classic LRU promotion."""
+        self.queue.move_to_mru(node)
+
+    def _on_evict(self, node: Node) -> None:
+        """Observe an evicted node (ghost lists, threshold adaptation, …)."""
+
+    def _on_insert(self, node: Node, req: Request) -> None:
+        """Observe a newly inserted node (predictors initialise state here)."""
+
+    def _choose_victim(self) -> Node:
+        """Pick the eviction victim; default the LRU-end node."""
+        tail = self.queue.tail
+        assert tail is not None
+        return tail
+
+    # -- CachePolicy implementation ----------------------------------------------
+    def _lookup(self, key: int) -> bool:
+        return key in self.index
+
+    def _hit(self, req: Request) -> None:
+        node = self.index[req.key]
+        node.hit_token = (node.hit_token or 0) + 1  # per-residency hit count
+        if node.size != req.size:
+            # Object was updated at the origin; account the size change.
+            self.used += req.size - node.size
+            self.queue.bytes += req.size - node.size
+            node.size = req.size
+        self._on_hit(node, req)
+        # A grown object may have pushed the cache over capacity.
+        if self.used > self.capacity:
+            self._make_room(0)
+
+    def _miss(self, req: Request) -> None:
+        self._make_room(req.size)
+        node = Node(req.key, req.size)
+        pos = self._insert_position(req)
+        node.inserted_mru = pos == MRU_POS
+        if node.inserted_mru:
+            self.queue.push_mru(node)
+        else:
+            self.queue.push_lru(node)
+        self.index[req.key] = node
+        self.used += req.size
+        self._on_insert(node, req)
+
+    def _make_room(self, need: int) -> None:
+        while self.used + need > self.capacity and self.index:
+            victim = self._choose_victim()
+            self.evict_node(victim)
+
+    def evict_node(self, node: Node) -> None:
+        """Evict a specific resident node, firing the observation hook."""
+        self.queue.unlink(node)
+        del self.index[node.key]
+        self.used -= node.size
+        self.stats.evictions += 1
+        self._on_evict(node)
+
+    def remove(self, key: int) -> Optional[Node]:
+        """Silently remove a resident object (paper's ``C.REMOVE``): the node
+        leaves the cache *without* being recorded as an eviction — promotion
+        in Algorithm 1 is remove-then-insert and must not pollute the
+        history lists."""
+        node = self.index.pop(key, None)
+        if node is None:
+            return None
+        self.queue.unlink(node)
+        self.used -= node.size
+        return node
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def resident_keys(self) -> list:
+        """Keys MRU → LRU (diagnostics / tests)."""
+        return self.queue.keys()
+
+    def check_invariants(self) -> None:
+        """Structural self-check used by property tests."""
+        self.queue.check_invariants()
+        assert len(self.index) == len(self.queue), "index/queue count mismatch"
+        assert self.used == self.queue.bytes, "byte accounting mismatch"
+        assert self.used <= self.capacity, "capacity overflow"
+        for key, node in self.index.items():
+            assert node.key == key, "index key mismatch"

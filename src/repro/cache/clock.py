@@ -1,0 +1,71 @@
+"""CLOCK — the classic second-chance approximation of LRU.
+
+Included as substrate: production caches often deploy CLOCK instead of a
+linked-list LRU because it avoids per-hit pointer writes; comparing SCIP
+(which *needs* a real queue for its insertion positions) against CLOCK
+quantifies what that requirement costs.  A hit merely sets the node's
+reference bit; the hand sweeps from the oldest entry, clearing bits until
+it finds an unreferenced victim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.base import CachePolicy
+from repro.cache.queue import LinkedQueue, Node
+from repro.sim.request import Request
+
+__all__ = ["ClockCache"]
+
+
+class ClockCache(CachePolicy):
+    """Size-aware CLOCK (second chance)."""
+
+    name = "CLOCK"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self.ring = LinkedQueue()  # tail = oldest = hand position
+        self.index: Dict[int, Node] = {}
+
+    def _lookup(self, key: int) -> bool:
+        return key in self.index
+
+    def _hit(self, req: Request) -> None:
+        node = self.index[req.key]
+        node.data = True  # reference bit — no queue movement on hits
+        if node.size != req.size:
+            self.used += req.size - node.size
+            self.ring.bytes += req.size - node.size
+            node.size = req.size
+        while self.used > self.capacity and len(self.ring) > 1:
+            self._advance_hand()
+
+    def _miss(self, req: Request) -> None:
+        while self.used + req.size > self.capacity and self.index:
+            self._advance_hand()
+        node = Node(req.key, req.size)
+        node.data = False
+        self.ring.push_mru(node)
+        self.index[req.key] = node
+        self.used += req.size
+
+    def _advance_hand(self) -> None:
+        """Sweep: give referenced entries a second chance, evict the first
+        unreferenced one."""
+        while True:
+            victim = self.ring.tail
+            assert victim is not None
+            if victim.data:
+                victim.data = False
+                self.ring.move_to_mru(victim)  # second chance
+            else:
+                self.ring.unlink(victim)
+                del self.index[victim.key]
+                self.used -= victim.size
+                self.stats.evictions += 1
+                return
+
+    def __len__(self) -> int:
+        return len(self.index)

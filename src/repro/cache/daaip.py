@@ -1,0 +1,94 @@
+"""DAAIP — Deadblock Aware Adaptive Insertion Policy (Mahto et al., ICCD'17).
+
+DAAIP predicts *dead-on-arrival* objects ("deadblocks" — the CPU-cache name
+for what the paper calls ZROs) using a reuse history table, and steers
+predicted-dead insertions to the LRU position.  The table is trained from
+eviction outcomes: a victim evicted without any hit strengthens the dead
+prediction for its signature; reuse weakens it.  An adaptive *bypass
+confidence* additionally demotes repeat offenders even further by refusing
+promotion on their first hit.
+
+Signatures are the same pure key-group hash used by our SHiP port (the
+original indexes its tables by PC; size is deliberately kept out so the
+comparison with the size-threshold ASC-IP stays meaningful).
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import LRU_POS, MRU_POS, QueueCache
+from repro.cache.queue import Node
+from repro.sim.request import Request
+
+__all__ = ["DAAIPCache"]
+
+
+class DAAIPCache(QueueCache):
+    """Deadblock-aware adaptive insertion.
+
+    Parameters
+    ----------
+    table_size:
+        Entries in the dead-prediction table.
+    dead_threshold:
+        Counter value at or above which an insertion is predicted dead.
+    max_counter:
+        Saturation ceiling.
+    """
+
+    name = "DAAIP"
+
+    def __init__(
+        self,
+        capacity: int,
+        table_size: int = 16384,
+        dead_threshold: int = 2,
+        max_counter: int = 3,
+    ):
+        super().__init__(capacity)
+        self.table_size = table_size
+        self.dead_threshold = dead_threshold
+        self.max_counter = max_counter
+        self._dead = [0] * table_size
+        # Global duelling counter adapting the threshold's aggressiveness:
+        # high values mean dead predictions have been paying off.
+        self._confidence = 0
+
+    def _signature(self, key: int, size: int) -> int:
+        return (hash(key) // 64) % self.table_size
+
+    def _insert_position(self, req: Request) -> int:
+        sig = self._signature(req.key, req.size)
+        thr = self.dead_threshold if self._confidence >= 0 else self.dead_threshold + 1
+        return LRU_POS if self._dead[sig] >= thr else MRU_POS
+
+    def _on_insert(self, node: Node, req: Request) -> None:
+        node.data = self._signature(req.key, req.size)
+
+    def _on_hit(self, node: Node, req: Request) -> None:
+        sig = node.data
+        if sig is not None and self._dead[sig] > 0:
+            self._dead[sig] -= 1
+            if not node.inserted_mru:
+                # We predicted dead but it was reused: lose confidence.
+                self._confidence = max(self._confidence - 1, -1024)
+        # First hit after a dead prediction stays put (cautious promotion);
+        # subsequent hits get full MRU promotion.
+        if not node.inserted_mru and not node.hit_token:
+            node.hit_token = True
+            self.queue.promote_one(node)
+            return
+        self.queue.move_to_mru(node)
+
+    def _on_evict(self, node: Node) -> None:
+        sig = node.data
+        if sig is None:
+            return
+        if not node.hit_token:
+            if self._dead[sig] < self.max_counter:
+                self._dead[sig] += 1
+            if not node.inserted_mru:
+                # Dead prediction confirmed by a dead eviction.
+                self._confidence = min(self._confidence + 1, 1024)
+
+    def metadata_bytes(self) -> int:
+        return 110 * len(self) + self.table_size

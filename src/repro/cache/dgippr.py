@@ -1,0 +1,153 @@
+"""DGIPPR — Dynamic Genetic Insertion and Promotion for PseudoLRU
+Replacement (Jiménez, MICRO'13).
+
+The original evolves *insertion/promotion vectors* — for each access type
+(miss insert, 1st hit, 2nd hit, …) a target recency position — with a
+steady-state genetic algorithm whose fitness is the hit rate a chromosome
+achieves on sampled leader sets.  We reproduce that faithfully at object-
+cache granularity:
+
+* a chromosome is a vector of ``GENE_COUNT`` recency fractions in [0, 1]:
+  index 0 is the insertion depth for misses, index ``k`` the promotion depth
+  applied on an object's ``k``-th hit (capped);
+* a small population is evaluated round-robin, each chromosome controlling
+  the cache for an *evaluation window*; fitness is the window hit ratio;
+* after every generation, the two fittest chromosomes crossover + mutate to
+  replace the weakest (steady-state GA).
+
+Positional placement uses the same lazy finger mechanism as PIPP, with one
+finger per distinct depth gene.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.cache.base import QueueCache
+from repro.cache.queue import Node
+from repro.sim.request import Request
+
+__all__ = ["DGIPPRCache"]
+
+GENE_COUNT = 4  # miss-insert depth + promotion depths for hits 1..3+
+
+
+class _Chromosome:
+    __slots__ = ("genes", "hits", "reqs")
+
+    def __init__(self, genes: List[float]):
+        self.genes = genes
+        self.hits = 0
+        self.reqs = 0
+
+    @property
+    def fitness(self) -> float:
+        return self.hits / self.reqs if self.reqs else 0.0
+
+
+class DGIPPRCache(QueueCache):
+    """Genetic insertion/promotion over an LRU-queue cache."""
+
+    name = "DGIPPR"
+
+    def __init__(
+        self,
+        capacity: int,
+        population: int = 8,
+        window: int = 2048,
+        mutation_rate: float = 0.1,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(capacity)
+        self.rng = rng or random.Random(0)
+        self.window = window
+        self.mutation_rate = mutation_rate
+        self._pop: List[_Chromosome] = [
+            _Chromosome([self.rng.random() for _ in range(GENE_COUNT)])
+            for _ in range(population)
+        ]
+        # Seed the population with the known-good LRU chromosome (all-MRU).
+        self._pop[0] = _Chromosome([1.0] * GENE_COUNT)
+        self._active = 0
+        self._in_window = 0
+
+    # -- GA machinery -----------------------------------------------------------
+    def _evolve(self) -> None:
+        """Steady-state step: crossover the two fittest, replace the weakest."""
+        ranked = sorted(range(len(self._pop)), key=lambda i: self._pop[i].fitness)
+        weakest, parents = ranked[0], ranked[-2:]
+        a, b = self._pop[parents[0]].genes, self._pop[parents[1]].genes
+        cut = self.rng.randrange(1, GENE_COUNT)
+        child = a[:cut] + b[cut:]
+        for i in range(GENE_COUNT):
+            if self.rng.random() < self.mutation_rate:
+                child[i] = min(1.0, max(0.0, child[i] + self.rng.gauss(0, 0.2)))
+        self._pop[weakest] = _Chromosome(child)
+        for c in self._pop:
+            c.hits = 0
+            c.reqs = 0
+
+    def _tick(self, hit: bool) -> None:
+        c = self._pop[self._active]
+        c.reqs += 1
+        if hit:
+            c.hits += 1
+        self._in_window += 1
+        if self._in_window >= self.window:
+            self._in_window = 0
+            self._active = (self._active + 1) % len(self._pop)
+            if self._active == 0:
+                self._evolve()
+
+    def request(self, req: Request) -> bool:
+        hit = super().request(req)
+        self._tick(hit)
+        return hit
+
+    # -- placement ---------------------------------------------------------------
+    def _place_at_depth(self, node: Node, frac: float) -> None:
+        """Insert at ``frac`` of the queue from the LRU end (1.0 == MRU).
+
+        Walks at most ``_MAX_WALK`` steps so cost stays bounded; beyond that
+        the distinction between depths is immaterial for eviction order.
+        """
+        _MAX_WALK = 32
+        if frac >= 0.999 or not len(self.queue):
+            self.queue.push_mru(node)
+            node.inserted_mru = True
+            return
+        node.inserted_mru = False
+        steps = min(int(len(self.queue) * frac), _MAX_WALK)
+        if steps == 0:
+            self.queue.push_lru(node)  # depth 0 == the exact LRU position
+            return
+        anchor = self.queue.tail
+        for _ in range(steps - 1):
+            if anchor is None or anchor.prev is None or anchor.prev.key is None:
+                break
+            anchor = anchor.prev
+        if anchor is None:
+            self.queue.push_lru(node)
+        else:
+            self.queue.insert_before(node, anchor)
+
+    def _miss(self, req: Request) -> None:
+        self._make_room(req.size)
+        node = Node(req.key, req.size)
+        node.data = 0  # hit count
+        self._place_at_depth(node, self._pop[self._active].genes[0])
+        self.index[req.key] = node
+        self.used += req.size
+        self._on_insert(node, req)
+
+    def _on_hit(self, node: Node, req: Request) -> None:
+        hits = (node.data or 0) + 1
+        node.data = hits
+        gene = min(hits, GENE_COUNT - 1)
+        frac = self._pop[self._active].genes[gene]
+        self.queue.unlink(node)
+        self._place_at_depth(node, frac)
+
+    def metadata_bytes(self) -> int:
+        return 110 * len(self) + 8 * GENE_COUNT * len(self._pop)

@@ -1,0 +1,80 @@
+"""GDSF — GreedyDual-Size-Frequency (Cherkasova & Ciardo, HPCN'01).
+
+Priority ``H(o) = L + freq(o) · cost(o) / size(o)`` where ``L`` is the
+inflation clock: on every eviction, ``L`` rises to the victim's priority, so
+long-untouched objects age out.  With unit cost this favours small, popular
+objects — the classic size-aware web-cache heuristic.
+
+Implementation: a min-heap with lazy invalidation (each access pushes a new
+entry stamped with the entry's current priority; stale entries are skipped
+at pop time).  Amortised O(log n) per request.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict
+
+from repro.cache.base import CachePolicy
+from repro.sim.request import Request
+
+__all__ = ["GDSFCache"]
+
+
+class GDSFCache(CachePolicy):
+    """GreedyDual-Size-Frequency with unit retrieval cost."""
+
+    name = "GDSF"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._prio: Dict[int, float] = {}   # authoritative priority
+        self._freq: Dict[int, int] = {}
+        self._sizes: Dict[int, int] = {}
+        self._heap: list = []               # (priority, seq, key)
+        self._seq = 0
+        self.inflation = 0.0                # the L clock
+
+    def _priority(self, key: int, size: int) -> float:
+        return self.inflation + self._freq[key] / max(size, 1)
+
+    def _push(self, key: int, size: int) -> None:
+        p = self._priority(key, size)
+        self._prio[key] = p
+        self._seq += 1
+        heapq.heappush(self._heap, (p, self._seq, key))
+
+    def _lookup(self, key: int) -> bool:
+        return key in self._sizes
+
+    def _hit(self, req: Request) -> None:
+        if self._sizes[req.key] != req.size:
+            self.used += req.size - self._sizes[req.key]
+            self._sizes[req.key] = req.size
+        self._freq[req.key] += 1
+        self._push(req.key, req.size)
+        while self.used > self.capacity and len(self._sizes) > 1:
+            self._evict_min()
+
+    def _miss(self, req: Request) -> None:
+        while self.used + req.size > self.capacity and self._sizes:
+            self._evict_min()
+        self._sizes[req.key] = req.size
+        self._freq[req.key] = 1
+        self.used += req.size
+        self._push(req.key, req.size)
+
+    def _evict_min(self) -> None:
+        while self._heap:
+            p, _, key = heapq.heappop(self._heap)
+            if key in self._sizes and self._prio.get(key) == p:
+                self.inflation = p  # age the cache up to the victim
+                self.used -= self._sizes.pop(key)
+                del self._prio[key]
+                del self._freq[key]
+                self.stats.evictions += 1
+                return
+        raise RuntimeError("heap exhausted with resident objects remaining")
+
+    def __len__(self) -> int:
+        return len(self._sizes)

@@ -1,0 +1,100 @@
+"""Least Frequently Used (LFU) with O(1) frequency-list structure.
+
+Implements the classic constant-time LFU: a doubly-linked list of frequency
+buckets, each holding an LRU-ordered queue of nodes with that access count.
+Victim: least-frequent bucket, LRU end (ties broken by recency).  LFU is one
+of LeCaR's two experts, so CACHEUS and LeCaR build on this module.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.cache.base import CachePolicy
+from repro.sim.request import Request
+
+__all__ = ["LFUCache"]
+
+
+class _Entry:
+    __slots__ = ("key", "size", "freq")
+
+    def __init__(self, key: int, size: int):
+        self.key = key
+        self.size = size
+        self.freq = 1
+
+
+class LFUCache(CachePolicy):
+    """Size-aware LFU with recency tie-breaking.
+
+    ``_buckets[f]`` is an :class:`~collections.OrderedDict` of entries with
+    frequency ``f`` in LRU order (oldest first).  ``_minfreq`` tracks the
+    lowest non-empty bucket, giving O(1) victim selection.
+    """
+
+    name = "LFU"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._entries: Dict[int, _Entry] = {}
+        self._buckets: Dict[int, OrderedDict] = {}
+        self._minfreq = 0
+
+    def _lookup(self, key: int) -> bool:
+        return key in self._entries
+
+    def _bump(self, e: _Entry) -> None:
+        bucket = self._buckets[e.freq]
+        del bucket[e.key]
+        if not bucket:
+            del self._buckets[e.freq]
+            if self._minfreq == e.freq:
+                self._minfreq = e.freq + 1
+        e.freq += 1
+        self._buckets.setdefault(e.freq, OrderedDict())[e.key] = e
+
+    def _hit(self, req: Request) -> None:
+        e = self._entries[req.key]
+        if e.size != req.size:
+            self.used += req.size - e.size
+            e.size = req.size
+        self._bump(e)
+        while self.used > self.capacity and len(self._entries) > 1:
+            self._evict_one()
+
+    def _miss(self, req: Request) -> None:
+        while self.used + req.size > self.capacity and self._entries:
+            self._evict_one()
+        e = _Entry(req.key, req.size)
+        self._entries[req.key] = e
+        self._buckets.setdefault(1, OrderedDict())[req.key] = e
+        self._minfreq = 1
+        self.used += req.size
+
+    def _evict_one(self) -> Optional[int]:
+        """Evict the LFU victim; returns its key (for expert frameworks)."""
+        while self._minfreq not in self._buckets or not self._buckets[self._minfreq]:
+            self._minfreq += 1
+        bucket = self._buckets[self._minfreq]
+        key, e = next(iter(bucket.items()))
+        del bucket[key]
+        if not bucket:
+            del self._buckets[self._minfreq]
+        del self._entries[key]
+        self.used -= e.size
+        self.stats.evictions += 1
+        return key
+
+    def peek_victim(self) -> Optional[int]:
+        """Key that would be evicted next, without evicting (LeCaR needs it)."""
+        if not self._entries:
+            return None
+        f = self._minfreq
+        while f not in self._buckets or not self._buckets[f]:
+            f += 1
+        return next(iter(self._buckets[f]))
+
+    def __len__(self) -> int:
+        return len(self._entries)

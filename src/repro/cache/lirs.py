@@ -1,0 +1,197 @@
+"""LIRS — Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS'02).
+
+Cited by the paper (§7) among the structure-adjusting victim-selection
+policies.  LIRS ranks objects by *reuse distance* (inter-reference recency,
+IRR) rather than recency: objects with small IRR are **LIR** (low
+inter-reference) and protected; the rest are **HIR** (high) and live in a
+small probationary region.  The structure:
+
+* stack **S** — recency-ordered metadata of LIR objects, resident HIR
+  objects and recently-seen non-resident HIR objects; an access that hits
+  anywhere in S with HIR status and is re-referenced while still in S has,
+  by construction, an IRR smaller than the LIR population's maximum
+  recency → it is promoted to LIR;
+* queue **Q** — FIFO of resident HIR objects, the eviction source;
+* stack pruning keeps S's bottom a LIR object, demoting the bottom LIR to
+  HIR when the LIR byte budget is exceeded.
+
+Sizing follows the original: LIR region ≈ 99 % of capacity, HIR ≈ 1 %
+(parameterised).  Adapted to variable object sizes by byte-budgeting both
+regions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cache.base import CachePolicy
+from repro.cache.queue import LinkedQueue, Node
+from repro.sim.request import Request
+
+__all__ = ["LIRSCache"]
+
+_LIR, _HIR_RES, _HIR_NONRES = 0, 1, 2
+
+
+class LIRSCache(CachePolicy):
+    """Size-aware LIRS.
+
+    Parameters
+    ----------
+    hir_fraction:
+        Byte share of the cache reserved for resident HIR objects (the
+        probationary region; original default 1 %, we default 5 % which is
+        friendlier to variable-size web objects).
+    nonres_factor:
+        Byte budget of non-resident HIR metadata tracked in S, as a
+        multiple of the cache size (bounds S's growth).
+    """
+
+    name = "LIRS"
+
+    def __init__(self, capacity: int, hir_fraction: float = 0.05, nonres_factor: float = 2.0):
+        super().__init__(capacity)
+        if not 0.0 < hir_fraction < 1.0:
+            raise ValueError(f"hir_fraction must be in (0, 1), got {hir_fraction}")
+        self.lir_cap = int(capacity * (1.0 - hir_fraction))
+        self.stack = LinkedQueue()   # S: MRU at head; mixed statuses
+        self.queue_q = LinkedQueue() # Q: resident HIR, FIFO
+        # key -> (stack_node | None, q_node | None, status)
+        self._state: Dict[int, Tuple] = {}
+        self.lir_bytes = 0
+        self._nonres_budget = int(capacity * nonres_factor)
+        self._nonres_bytes = 0
+
+    # -- helpers -----------------------------------------------------------------
+    def _prune(self) -> None:
+        """Pop non-LIR entries off S's bottom (stack pruning)."""
+        while len(self.stack):
+            bottom = self.stack.tail
+            status = self._state.get(bottom.key, (None, None, None))[2]
+            if status == _LIR:
+                break
+            self.stack.unlink(bottom)
+            s_node, q_node, st = self._state[bottom.key]
+            if st == _HIR_NONRES:
+                del self._state[bottom.key]
+                self._nonres_bytes -= bottom.size
+            else:
+                self._state[bottom.key] = (None, q_node, st)
+
+    def _demote_bottom_lir(self) -> None:
+        """Turn S's bottom LIR object into a resident HIR (queue tail of Q)."""
+        bottom = self.stack.tail
+        if bottom is None:
+            return
+        s_node, _, status = self._state[bottom.key]
+        assert status == _LIR
+        self.stack.unlink(bottom)
+        self.lir_bytes -= bottom.size
+        q_node = Node(bottom.key, bottom.size)
+        self.queue_q.push_mru(q_node)
+        self._state[bottom.key] = (None, q_node, _HIR_RES)
+        self._prune()
+
+    def _evict_from_q(self) -> None:
+        victim = self.queue_q.pop_lru()
+        s_node, _, _ = self._state[victim.key]
+        self.used -= victim.size
+        self.stats.evictions += 1
+        if s_node is not None:
+            # Keep non-resident metadata in S (bounded).
+            self._state[victim.key] = (s_node, None, _HIR_NONRES)
+            self._nonres_bytes += victim.size
+            while self._nonres_bytes > self._nonres_budget:
+                self._prune_oldest_nonres()
+        else:
+            del self._state[victim.key]
+
+    def _prune_oldest_nonres(self) -> None:
+        for node in self.stack.iter_lru():
+            st = self._state.get(node.key, (None, None, None))[2]
+            if st == _HIR_NONRES:
+                self.stack.unlink(node)
+                del self._state[node.key]
+                self._nonres_bytes -= node.size
+                return
+        self._nonres_bytes = 0  # pragma: no cover - accounting safety net
+
+    def _push_stack(self, key: int, size: int) -> Node:
+        node = Node(key, size)
+        self.stack.push_mru(node)
+        return node
+
+    # -- CachePolicy -----------------------------------------------------------------
+    def _lookup(self, key: int) -> bool:
+        st = self._state.get(key)
+        return st is not None and st[2] in (_LIR, _HIR_RES)
+
+    def _hit(self, req: Request) -> None:
+        s_node, q_node, status = self._state[req.key]
+        if status == _LIR:
+            # Move to the top of S; prune if it was the bottom.
+            self.stack.unlink(s_node)
+            self.stack.push_mru(s_node)
+            self._prune()
+            return
+        # Resident HIR hit.
+        if s_node is not None:
+            # IRR < max LIR recency → promote to LIR.
+            self.stack.unlink(s_node)
+            new_s = self._push_stack(req.key, q_node.size)
+            self.queue_q.unlink(q_node)
+            self._state[req.key] = (new_s, None, _LIR)
+            self.lir_bytes += q_node.size
+            while self.lir_bytes > self.lir_cap:
+                self._demote_bottom_lir()
+        else:
+            # Not in S: stays HIR, refresh both structures.
+            new_s = self._push_stack(req.key, q_node.size)
+            self.queue_q.unlink(q_node)
+            self.queue_q.push_mru(q_node)
+            self._state[req.key] = (new_s, q_node, _HIR_RES)
+
+    def _miss(self, req: Request) -> None:
+        while self.used + req.size > self.capacity and (
+            len(self.queue_q) or self.lir_bytes
+        ):
+            if len(self.queue_q):
+                self._evict_from_q()
+            else:
+                self._demote_bottom_lir()
+        # Look up the ghost state only *after* making room: the eviction
+        # loop may prune this very key's non-resident entry off S's bottom.
+        entry = self._state.get(req.key)
+        if entry is not None and entry[2] == _HIR_NONRES:
+            # Re-reference of a recently-seen object: IRR is small → LIR.
+            s_node = entry[0]
+            self._nonres_bytes -= s_node.size
+            self.stack.unlink(s_node)
+            new_s = self._push_stack(req.key, req.size)
+            self._state[req.key] = (new_s, None, _LIR)
+            self.lir_bytes += req.size
+            self.used += req.size
+            while self.lir_bytes > self.lir_cap:
+                self._demote_bottom_lir()
+        elif self.lir_bytes + req.size <= self.lir_cap:
+            # Cold start: fill the LIR region first (original's warm-up).
+            new_s = self._push_stack(req.key, req.size)
+            self._state[req.key] = (new_s, None, _LIR)
+            self.lir_bytes += req.size
+            self.used += req.size
+        else:
+            # New object: resident HIR.
+            new_s = self._push_stack(req.key, req.size)
+            q_node = Node(req.key, req.size)
+            self.queue_q.push_mru(q_node)
+            self._state[req.key] = (new_s, q_node, _HIR_RES)
+            self.used += req.size
+        self._prune()
+
+    def __len__(self) -> int:
+        return sum(1 for st in self._state.values() if st[2] in (_LIR, _HIR_RES))
+
+    def metadata_bytes(self) -> int:
+        return 110 * len(self) + 32 * sum(
+            1 for st in self._state.values() if st[2] == _HIR_NONRES
+        )

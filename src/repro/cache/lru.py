@@ -1,0 +1,21 @@
+"""Least Recently Used (LRU) — the default CDN policy SCIP augments.
+
+Insertion: MRU position.  Promotion: move to MRU on hit.  Victim: LRU end.
+This is the baseline against which Figure 1 measures ZRO/P-ZRO pollution.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import QueueCache
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(QueueCache):
+    """Classic size-aware LRU.
+
+    All three hooks are the :class:`QueueCache` defaults; the class exists to
+    give the baseline a name and a stable import point.
+    """
+
+    name = "LRU"

@@ -1,0 +1,101 @@
+"""PIPP — Promotion/Insertion Pseudo-Partitioning (Xie & Loh, ISCA'09).
+
+PIPP inserts at an intermediate queue position and, on a hit, promotes the
+object **one step** toward MRU (with probability ``p_prom``) instead of
+jumping to the head.  The paper singles this out (§1): single-step promotion
+still strands P-ZROs in large CDN caches.
+
+Positional insertion in a size-aware linked queue is implemented with a
+*finger pointer* kept ``insert_frac`` of the way from the LRU end (in object
+count).  The finger is recalibrated lazily every ``_RECAL`` operations by a
+short walk, keeping amortised cost O(1); exact positioning is not required —
+PIPP itself only needs "somewhere mid-queue".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.cache.base import QueueCache
+from repro.cache.queue import Node
+from repro.sim.request import Request
+
+__all__ = ["PIPPCache"]
+
+
+class PIPPCache(QueueCache):
+    """Single-tenant PIPP.
+
+    Parameters
+    ----------
+    insert_frac:
+        Fractional insertion depth from the LRU end (0 = LRU, 1 = MRU).
+        The multi-core original derives this from partition allocations; for
+        one tenant the authors' single-partition default is mid-queue.
+    p_prom:
+        Probability that a hit promotes one position (original: 3/4).
+    """
+
+    name = "PIPP"
+
+    _RECAL = 64  # operations between finger recalibrations
+
+    def __init__(
+        self,
+        capacity: int,
+        insert_frac: float = 0.5,
+        p_prom: float = 0.75,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(capacity)
+        if not 0.0 <= insert_frac <= 1.0:
+            raise ValueError(f"insert_frac must be in [0, 1], got {insert_frac}")
+        self.insert_frac = insert_frac
+        self.p_prom = p_prom
+        self.rng = rng or random.Random(0)
+        self._finger: Optional[Node] = None
+        self._ops = 0
+
+    # -- finger maintenance ---------------------------------------------------
+    def _recalibrate(self) -> None:
+        """Walk from the LRU end to the target depth; O(frac·n) but amortised
+        over ``_RECAL`` constant-time operations."""
+        target = int(len(self.queue) * self.insert_frac)
+        node = self.queue.tail
+        for _ in range(target):
+            if node is None or node.prev is None or node.prev.key is None:
+                break
+            node = node.prev
+        self._finger = node
+
+    def _finger_node(self) -> Optional[Node]:
+        self._ops += 1
+        if self._finger is None or self._ops % self._RECAL == 0:
+            self._recalibrate()
+        # The finger may have been unlinked (evicted / promoted) since the
+        # last recalibration; detect via cleared links.
+        f = self._finger
+        if f is not None and f.next is None and f.prev is None:
+            self._recalibrate()
+            f = self._finger
+        return f
+
+    # -- hooks ----------------------------------------------------------------
+    def _miss(self, req: Request) -> None:
+        self._make_room(req.size)
+        node = Node(req.key, req.size)
+        node.inserted_mru = False  # mid-queue counts as non-MRU
+        anchor = self._finger_node()
+        if anchor is None or len(self.queue) == 0 or self.insert_frac == 0.0:
+            # frac 0 means the exact LRU position, not one above the tail.
+            self.queue.push_lru(node)
+        else:
+            self.queue.insert_before(node, anchor)
+        self.index[req.key] = node
+        self.used += req.size
+        self._on_insert(node, req)
+
+    def _on_hit(self, node: Node, req: Request) -> None:
+        if self.rng.random() < self.p_prom:
+            self.queue.promote_one(node)

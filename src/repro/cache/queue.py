@@ -1,0 +1,215 @@
+"""Intrusive doubly-linked queue — the workhorse of LRU-family policies.
+
+Every queue operation the paper's Algorithm 1 relies on is O(1):
+
+* insert at the MRU (head) or LRU (tail) end,
+* unlink an arbitrary node,
+* promote a node one position toward the MRU end (PIPP-style),
+* pop the LRU-end node (eviction).
+
+Nodes are *intrusive*: policies attach their per-object metadata directly to
+the node (key, size, insertion-position mark, hit token, …) so a cache lookup
+is a single dict probe returning the node, with no secondary metadata map.
+
+A sentinel node closes the list into a ring, removing all head/tail `None`
+special cases from the hot path (per the HPC guides: keep the per-request
+loop branch- and allocation-light).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["Node", "LinkedQueue"]
+
+
+class Node:
+    """A queue node carrying object metadata.
+
+    Attributes
+    ----------
+    key, size:
+        Object identity and size in bytes.
+    inserted_mru:
+        Paper's ``insert_pos`` bit — ``True`` if the object was last inserted
+        at the MRU position (used by SCIP's history routing and by ASC-IP).
+    hit_token:
+        Number of hits during the current residency (0 = never hit).
+        Truthiness gives the paper's boolean hit token (§5.1); the count
+        lets SCIP distinguish single-hit-then-die (P-ZRO) tenures from
+        multi-hit tenures.
+    data:
+        Free slot for policy-specific metadata (e.g. LRU-K history, SHiP
+        signature, LHD class id).
+    stamp:
+        Free integer slot, conventionally the insertion clock (SCIP's
+        tenure estimator and LHD's ages use it).
+    """
+
+    __slots__ = ("key", "size", "prev", "next", "inserted_mru", "hit_token", "data", "stamp")
+
+    def __init__(self, key: int, size: int):
+        self.key = key
+        self.size = size
+        self.prev: Optional[Node] = None
+        self.next: Optional[Node] = None
+        self.inserted_mru: bool = True
+        self.hit_token: int = 0
+        self.data = None
+        self.stamp = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node(key={self.key!r}, size={self.size})"
+
+
+class LinkedQueue:
+    """Doubly-linked list with a sentinel ring.
+
+    Orientation: ``head`` (next of sentinel) is the **MRU** end; ``tail``
+    (prev of sentinel) is the **LRU** end.  ``__len__`` is the node count and
+    ``bytes`` tracks the summed node sizes, both maintained incrementally.
+    """
+
+    __slots__ = ("_sentinel", "_count", "bytes")
+
+    def __init__(self) -> None:
+        s = Node.__new__(Node)
+        s.key = None  # type: ignore[assignment]
+        s.size = 0
+        s.prev = s
+        s.next = s
+        s.inserted_mru = False
+        s.hit_token = 0
+        s.data = None
+        s.stamp = 0
+        self._sentinel = s
+        self._count = 0
+        self.bytes = 0
+
+    # -- observers ---------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    @property
+    def head(self) -> Optional[Node]:
+        """MRU-end node, or ``None`` if empty."""
+        n = self._sentinel.next
+        return None if n is self._sentinel else n
+
+    @property
+    def tail(self) -> Optional[Node]:
+        """LRU-end node, or ``None`` if empty."""
+        n = self._sentinel.prev
+        return None if n is self._sentinel else n
+
+    def __iter__(self) -> Iterator[Node]:
+        """Iterate MRU → LRU.  O(n); not for the hot path."""
+        n = self._sentinel.next
+        while n is not self._sentinel:
+            nxt = n.next  # permit unlink-while-iterating
+            yield n
+            n = nxt
+
+    def iter_lru(self) -> Iterator[Node]:
+        """Iterate LRU → MRU (eviction-candidate order)."""
+        n = self._sentinel.prev
+        while n is not self._sentinel:
+            prv = n.prev
+            yield n
+            n = prv
+
+    # -- mutators (all O(1)) ------------------------------------------------
+    def _link_after(self, node: Node, anchor: Node) -> None:
+        node.prev = anchor
+        node.next = anchor.next
+        anchor.next.prev = node  # type: ignore[union-attr]
+        anchor.next = node
+        self._count += 1
+        self.bytes += node.size
+
+    def push_mru(self, node: Node) -> None:
+        """Insert at the MRU (head) end."""
+        self._link_after(node, self._sentinel)
+
+    def push_lru(self, node: Node) -> None:
+        """Insert at the LRU (tail) end."""
+        self._link_after(node, self._sentinel.prev)  # type: ignore[arg-type]
+
+    def insert_before(self, node: Node, anchor: Node) -> None:
+        """Insert ``node`` immediately toward-MRU of ``anchor``."""
+        self._link_after(node, anchor.prev)  # type: ignore[arg-type]
+
+    def insert_after(self, node: Node, anchor: Node) -> None:
+        """Insert ``node`` immediately toward-LRU of ``anchor``."""
+        self._link_after(node, anchor)
+
+    def unlink(self, node: Node) -> Node:
+        """Remove an arbitrary resident node.  The node must be linked."""
+        node.prev.next = node.next  # type: ignore[union-attr]
+        node.next.prev = node.prev  # type: ignore[union-attr]
+        node.prev = None
+        node.next = None
+        self._count -= 1
+        self.bytes -= node.size
+        return node
+
+    def pop_lru(self) -> Node:
+        """Remove and return the LRU-end node (the eviction victim)."""
+        n = self._sentinel.prev
+        if n is self._sentinel:
+            raise IndexError("pop_lru from empty queue")
+        return self.unlink(n)  # type: ignore[arg-type]
+
+    def pop_mru(self) -> Node:
+        """Remove and return the MRU-end node."""
+        n = self._sentinel.next
+        if n is self._sentinel:
+            raise IndexError("pop_mru from empty queue")
+        return self.unlink(n)  # type: ignore[arg-type]
+
+    def move_to_mru(self, node: Node) -> None:
+        """Classic LRU promotion: unlink and re-insert at the head."""
+        self.unlink(node)
+        self.push_mru(node)
+
+    def move_to_lru(self, node: Node) -> None:
+        """Demote to the tail (used by LIP-style hit handling variants)."""
+        self.unlink(node)
+        self.push_lru(node)
+
+    def promote_one(self, node: Node) -> None:
+        """PIPP promotion: swap the node with its toward-MRU neighbour.
+
+        A node already at the MRU end stays put.  O(1).
+        """
+        prev = node.prev
+        if prev is self._sentinel or prev is None:
+            return
+        self.unlink(node)
+        self.insert_before(node, prev)
+
+    def keys(self) -> list:
+        """Snapshot of keys MRU → LRU.  O(n); diagnostics only."""
+        return [n.key for n in self]
+
+    def check_invariants(self) -> None:
+        """Verify link symmetry and the count/bytes accounting.
+
+        Used by the property-based tests; raises ``AssertionError`` on any
+        corruption.  O(n).
+        """
+        count = 0
+        total = 0
+        n = self._sentinel
+        while True:
+            assert n.next.prev is n, "broken forward/backward link"  # type: ignore[union-attr]
+            n = n.next  # type: ignore[assignment]
+            if n is self._sentinel:
+                break
+            count += 1
+            total += n.size
+        assert count == self._count, f"count mismatch: {count} != {self._count}"
+        assert total == self.bytes, f"bytes mismatch: {total} != {self.bytes}"

@@ -1,0 +1,179 @@
+"""SIEVE and S3-FIFO — post-paper (2023/24) eviction designs, included as
+extensions.
+
+Both come from the same research line as GL-Cache (Yang et al.) and appeared
+right after the paper's publication; they make interesting comparison points
+because they attack the *same* ZRO problem from the eviction side with
+strictly simpler machinery:
+
+* **SIEVE** (NSDI'24) — a FIFO queue with a moving *hand* and one visited
+  bit per object.  The hand sweeps from tail to head; visited objects are
+  spared (bit cleared, hand moves on) **without being moved**, unvisited
+  ones are evicted in place.  New objects insert at the head.  Lazy
+  promotion + quick demotion: one-hit wonders never get a second tour.
+* **S3-FIFO** (SOSP'23) — three FIFO queues: a small probationary queue
+  (~10 % of capacity), a main queue, and a ghost queue.  Objects evicted
+  from the small queue without reuse go to the ghost; a miss found in the
+  ghost enters the main queue directly.  Objects in main get up to two
+  second chances via an access counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.base import CachePolicy
+from repro.cache.queue import LinkedQueue, Node
+from repro.core.history import HistoryList
+from repro.sim.request import Request
+
+__all__ = ["SieveCache", "S3FIFOCache"]
+
+
+class SieveCache(CachePolicy):
+    """SIEVE: FIFO + visited-bit hand, no promotion moves."""
+
+    name = "SIEVE"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self.queue = LinkedQueue()  # head = newest
+        self.index: Dict[int, Node] = {}
+        self._hand: Optional[Node] = None
+
+    def _lookup(self, key: int) -> bool:
+        return key in self.index
+
+    def _hit(self, req: Request) -> None:
+        node = self.index[req.key]
+        node.data = True  # visited bit — the only state a hit touches
+        if node.size != req.size:
+            self.used += req.size - node.size
+            self.queue.bytes += req.size - node.size
+            node.size = req.size
+        while self.used > self.capacity and len(self.queue) > 1:
+            self._evict_one()
+
+    def _miss(self, req: Request) -> None:
+        while self.used + req.size > self.capacity and self.index:
+            self._evict_one()
+        node = Node(req.key, req.size)
+        node.data = False
+        self.queue.push_mru(node)
+        self.index[req.key] = node
+        self.used += req.size
+
+    def _evict_one(self) -> None:
+        # The hand starts at the tail and sweeps toward the head, surviving
+        # across evictions (this retention of position is SIEVE's point).
+        hand = self._hand
+        if hand is None or hand.prev is None:  # unlinked or uninitialised
+            hand = self.queue.tail
+        while hand is not None and hand.data:
+            hand.data = False
+            hand = hand.prev if hand.prev is not None and hand.prev.key is not None else None
+            if hand is None:
+                hand = self.queue.tail
+        assert hand is not None
+        nxt = hand.prev if hand.prev is not None and hand.prev.key is not None else None
+        self.queue.unlink(hand)
+        del self.index[hand.key]
+        self.used -= hand.size
+        self.stats.evictions += 1
+        self._hand = nxt
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+
+class S3FIFOCache(CachePolicy):
+    """S3-FIFO: small + main + ghost FIFO queues.
+
+    Parameters
+    ----------
+    small_frac:
+        Byte share of the probationary small queue (original: 10 %).
+    ghost_frac:
+        Ghost-queue byte budget as a fraction of capacity (original: ~90 %
+        of the main queue's object count; byte-budgeting is the natural
+        size-aware translation).
+    """
+
+    name = "S3-FIFO"
+
+    _MAX_FREQ = 3
+
+    def __init__(self, capacity: int, small_frac: float = 0.1, ghost_frac: float = 0.9):
+        super().__init__(capacity)
+        if not 0.0 < small_frac < 1.0:
+            raise ValueError(f"small_frac must be in (0, 1), got {small_frac}")
+        self.small_cap = max(int(capacity * small_frac), 1)
+        self.small = LinkedQueue()
+        self.main = LinkedQueue()
+        self.ghost = HistoryList(int(capacity * ghost_frac))
+        self._where: Dict[int, tuple] = {}  # key -> (node, 'small'|'main')
+
+    def _lookup(self, key: int) -> bool:
+        return key in self._where
+
+    def _hit(self, req: Request) -> None:
+        node, _ = self._where[req.key]
+        node.data = min((node.data or 0) + 1, self._MAX_FREQ)
+        if node.size != req.size:
+            self.used += req.size - node.size
+            node.size = req.size
+        while self.used > self.capacity and len(self._where) > 1:
+            self._evict_one()
+
+    def _miss(self, req: Request) -> None:
+        while self.used + req.size > self.capacity and self._where:
+            self._evict_one()
+        node = Node(req.key, req.size)
+        node.data = 0
+        if self.ghost.delete(req.key):
+            # Recently evicted from small without reuse, yet came back:
+            # skip probation and enter the main queue.
+            self.main.push_mru(node)
+            self._where[req.key] = (node, "main")
+        else:
+            self.small.push_mru(node)
+            self._where[req.key] = (node, "small")
+        self.used += req.size
+
+    def _evict_one(self) -> None:
+        if self.small.bytes > self.small_cap and len(self.small):
+            victim = self.small.pop_lru()
+            if (victim.data or 0) > 0:
+                # Reused while on probation: promote to main instead.
+                victim.data = 0
+                self.main.push_mru(victim)
+                self._where[victim.key] = (victim, "main")
+                return  # space unchanged; the caller loops again
+            self.ghost.add(victim.key, victim.size)
+            del self._where[victim.key]
+            self.used -= victim.size
+            self.stats.evictions += 1
+            return
+        # Evict from main with up to _MAX_FREQ second chances.
+        while len(self.main):
+            victim = self.main.pop_lru()
+            if (victim.data or 0) > 0:
+                victim.data = (victim.data or 0) - 1
+                self.main.push_mru(victim)
+                continue
+            del self._where[victim.key]
+            self.used -= victim.size
+            self.stats.evictions += 1
+            return
+        # Main empty: drain small unconditionally.
+        victim = self.small.pop_lru()
+        self.ghost.add(victim.key, victim.size)
+        del self._where[victim.key]
+        self.used -= victim.size
+        self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def metadata_bytes(self) -> int:
+        return 110 * len(self) + self.ghost.metadata_bytes()

@@ -1,0 +1,137 @@
+"""SS-LRU — Smart Segmented LRU (Li et al., DAC'22).
+
+A segmented LRU whose *insertion segment* is chosen by a lightweight online
+learner: objects predicted to be reused enter the protected segment, the
+rest enter the probationary segment.  We implement the learner as an online
+logistic regression over cheap per-object features (log size, observed
+frequency, recency gap), trained continuously from eviction outcomes — a
+victim's label is whether it was ever hit while resident.  That matches the
+original's "small model, trained on the cache's own evictions" design and
+places SS-LRU in the paper's "learning-based replacement" bucket for the
+Fig 10/11 comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.cache.base import CachePolicy
+from repro.cache.queue import LinkedQueue, Node
+from repro.sim.request import Request
+
+__all__ = ["SSLRUCache"]
+
+
+class _OnlineLogit:
+    """Tiny SGD logistic regression: p(reuse | features)."""
+
+    __slots__ = ("w", "b", "lr")
+
+    def __init__(self, n_features: int, lr: float = 0.05):
+        self.w = [0.0] * n_features
+        self.b = 0.0
+        self.lr = lr
+
+    def predict(self, x: List[float]) -> float:
+        z = self.b + sum(wi * xi for wi, xi in zip(self.w, x))
+        if z >= 30:
+            return 1.0
+        if z <= -30:
+            return 0.0
+        return 1.0 / (1.0 + math.exp(-z))
+
+    def train(self, x: List[float], y: float) -> None:
+        err = self.predict(x) - y
+        self.b -= self.lr * err
+        for i, xi in enumerate(x):
+            self.w[i] -= self.lr * err * xi
+
+
+class SSLRUCache(CachePolicy):
+    """Two-segment SLRU with learned insertion-segment selection."""
+
+    name = "SS-LRU"
+
+    def __init__(self, capacity: int, protected_frac: float = 0.5):
+        super().__init__(capacity)
+        self.protected_cap = int(capacity * protected_frac)
+        self.probation = LinkedQueue()
+        self.protected = LinkedQueue()
+        self._where: Dict[int, Tuple[Node, str]] = {}
+        self._freq: Dict[int, int] = {}
+        self._last: Dict[int, int] = {}
+        self.model = _OnlineLogit(3)
+
+    # -- features -----------------------------------------------------------------
+    def _features(self, req: Request) -> List[float]:
+        freq = self._freq.get(req.key, 0)
+        gap = self.clock - self._last.get(req.key, self.clock)
+        return [
+            math.log2(max(req.size, 1)) / 32.0,
+            math.log2(freq + 1) / 16.0,
+            math.log2(gap + 1) / 32.0,
+        ]
+
+    # -- CachePolicy ------------------------------------------------------------------
+    def _lookup(self, key: int) -> bool:
+        return key in self._where
+
+    def _hit(self, req: Request) -> None:
+        node, seg = self._where[req.key]
+        q = self.probation if seg == "probation" else self.protected
+        q.unlink(node)
+        if node.size != req.size:
+            self.used += req.size - node.size
+            node.size = req.size
+        self.protected.push_mru(node)
+        self._where[req.key] = (node, "protected")
+        self._freq[req.key] = self._freq.get(req.key, 0) + 1
+        self._last[req.key] = self.clock
+        self._demote()
+        if self.used > self.capacity:
+            self._make_room(0)
+
+    def _miss(self, req: Request) -> None:
+        x = self._features(req)
+        node = Node(req.key, req.size)
+        node.data = x  # keep features for training at eviction time
+        self._make_room(req.size)
+        if self.model.predict(x) >= 0.5:
+            self.protected.push_mru(node)
+            self._where[req.key] = (node, "protected")
+        else:
+            node.inserted_mru = False
+            self.probation.push_mru(node)
+            self._where[req.key] = (node, "probation")
+        self.used += req.size
+        self._freq[req.key] = self._freq.get(req.key, 0) + 1
+        self._last[req.key] = self.clock
+        self._demote()
+
+    def _demote(self) -> None:
+        """Spill protected overflow into probation (classic SLRU demotion)."""
+        while self.protected.bytes > self.protected_cap and len(self.protected):
+            node = self.protected.pop_lru()
+            self.probation.push_mru(node)
+            self._where[node.key] = (node, "probation")
+
+    def _make_room(self, need: int) -> None:
+        while self.used + need > self.capacity and self._where:
+            if len(self.probation):
+                victim = self.probation.pop_lru()
+            else:
+                victim = self.protected.pop_lru()
+            del self._where[victim.key]
+            self.used -= victim.size
+            self.stats.evictions += 1
+            # Train: did the insertion-time prediction pan out?
+            if victim.data is not None:
+                self.model.train(victim.data, 1.0 if victim.hit_token else 0.0)
+            self._freq.pop(victim.key, None)
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def metadata_bytes(self) -> int:
+        return 110 * len(self) + 24 * (len(self._freq) + len(self._last)) + 32

@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's workflow::
+
+    python -m repro simulate  --policy SCIP --workload CDN-T --fraction 0.02
+    python -m repro experiment fig8 [--scale bench]
+    python -m repro workload   --name CDN-W -n 50000 -o cdnw.tr [--analyze]
+    python -m repro report     [--scale bench] -o EXPERIMENTS.md
+
+`simulate` replays one policy on one workload; `experiment` prints a paper
+table; `workload` generates/analyses/saves traces; `report` regenerates the
+full paper-vs-measured document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.cache import POLICIES
+    from repro.core.sci import SCICache
+    from repro.core.scip import SCIPCache
+    from repro.sim.engine import simulate
+    from repro.traces.cdn import make_workload
+    from repro.traces.io import read_lrb
+
+    registry = dict(POLICIES)
+    registry["SCIP"] = SCIPCache
+    registry["SCI"] = SCICache
+    if args.policy not in registry:
+        print(f"unknown policy {args.policy!r}; available: {sorted(registry)}")
+        return 2
+    if args.trace_file:
+        trace = read_lrb(args.trace_file)
+    else:
+        trace = make_workload(args.workload, n_requests=args.requests)
+    cap = max(int(trace.working_set_size * args.fraction), 1)
+    res = simulate(registry[args.policy](cap), trace, warmup=args.warmup)
+    print(
+        f"{res.policy} on {res.trace}: miss_ratio={res.miss_ratio:.4f} "
+        f"byte_miss_ratio={res.byte_miss_ratio:.4f} tps={res.tps:,.0f} "
+        f"cache={cap / 1e9:.3f} GB"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as E
+
+    modules = {
+        "table1": E.table1_workloads,
+        "fig1": E.fig1_zro,
+        "fig3": E.fig3_theoretical,
+        "fig4": E.fig4_models,
+        "fig6": E.fig6_tdc,
+        "fig7": E.fig7_scip_vs_sci,
+        "fig8": E.fig8_insertion,
+        "fig9": E.fig9_resources_ins,
+        "fig10": E.fig10_replacement,
+        "fig11": E.fig11_resources_repl,
+        "fig12": E.fig12_enhance,
+        "ablations": E.ablations,
+        "convergence": E.convergence,
+    }
+    if args.name == "all":
+        for mod in modules.values():
+            mod.main(scale=args.scale)
+        return 0
+    if args.name not in modules:
+        print(f"unknown experiment {args.name!r}; available: {sorted(modules)} or 'all'")
+        return 2
+    modules[args.name].main(scale=args.scale)
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.traces.cdn import make_workload
+    from repro.traces.io import write_lrb
+
+    trace = make_workload(args.name, n_requests=args.requests)
+    summary = trace.summary()
+    print(
+        f"{args.name}: {summary['total_requests']:,} requests, "
+        f"{summary['unique_objects']:,} objects, "
+        f"WSS {summary['working_set_size'] / 1e9:.2f} GB"
+    )
+    if args.analyze:
+        from repro.traces.analysis import fig1_panel
+
+        for row in fig1_panel(trace, fractions=(0.01, 0.05)):
+            print(
+                f"  cache {row.cache_fraction:.0%}: mr(LRU)={row.miss_ratio_lru:.3f} "
+                f"ZRO%={row.zro_share_of_misses:.1%} "
+                f"PZRO%={row.pzro_share_of_hits:.1%}"
+            )
+    if args.output:
+        write_lrb(trace, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    write_report(args.output, scale=args.scale)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SCIP (ICPP 2023) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="replay one policy on one workload")
+    p.add_argument("--policy", default="SCIP")
+    p.add_argument("--workload", default="CDN-T", choices=["CDN-T", "CDN-W", "CDN-A"])
+    p.add_argument("--trace-file", help="LRB-format trace file instead of synthetic")
+    p.add_argument("-n", "--requests", type=int, default=100_000)
+    p.add_argument("--fraction", type=float, default=0.02, help="cache size as WSS fraction")
+    p.add_argument("--warmup", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("experiment", help="run a paper table/figure")
+    p.add_argument("name", help="table1, fig1…fig12, ablations, convergence, or all")
+    p.add_argument("--scale", default="bench", choices=["smoke", "bench", "default"])
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("workload", help="generate / analyse / save a workload")
+    p.add_argument("--name", default="CDN-T", choices=["CDN-T", "CDN-W", "CDN-A"])
+    p.add_argument("-n", "--requests", type=int, default=100_000)
+    p.add_argument("-o", "--output", help="write LRB-format trace here")
+    p.add_argument("--analyze", action="store_true", help="run the Figure 1 analysis")
+    p.set_defaults(func=_cmd_workload)
+
+    p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p.add_argument("--scale", default="default", choices=["smoke", "bench", "default"])
+    p.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The paper's contribution: SCIP, its SCI ablation, and the enhancement
+wrappers that splice SCIP under other victim-selection policies."""
+
+from repro.core.enhance import ASCIPLRB, ASCIPLRUK, SCIPLRB, SCIPLRUK, enhance
+from repro.core.history import HistoryList
+from repro.core.learning import LearningRateController
+from repro.core.mab import PositionBandit
+from repro.core.sci import SCICache
+from repro.core.scip import SCIPCache
+
+__all__ = [
+    "SCIPCache",
+    "SCICache",
+    "HistoryList",
+    "LearningRateController",
+    "PositionBandit",
+    "SCIPLRUK",
+    "SCIPLRB",
+    "ASCIPLRUK",
+    "ASCIPLRB",
+    "enhance",
+]

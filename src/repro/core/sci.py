@@ -1,0 +1,32 @@
+"""SCI — Smart Cache Insertion (Algorithm 3), the paper's ablation of SCIP.
+
+SCI keeps SCIP's learned *insertion* policy for missing objects but drops
+the learned *promotion* policy: a hit is removed and re-inserted **always at
+the MRU position** (Algorithm 3, L3-5) — i.e. classic LRU promotion.  The
+Figure 7 experiment measures exactly what unifying promotion buys: SCIP's
+miss ratio is lower than SCI's by 4.62 / 1.62 / 5.30 points on the three
+workloads, attributable to P-ZRO capture.
+"""
+
+from __future__ import annotations
+
+from repro.cache.queue import Node
+from repro.core.scip import SCIPCache
+from repro.sim.request import Request
+
+__all__ = ["SCICache"]
+
+
+class SCICache(SCIPCache):
+    """SCIP minus the promotion policy (hits always promote to MRU)."""
+
+    name = "SCI"
+
+    def _on_hit(self, node: Node, req: Request) -> None:
+        # Algorithm 3 L3-5: remove, then insert at MRU unconditionally.
+        # The traversal stamp restarts exactly as in SCIP — the tenure
+        # estimator measures the queue, not the policy — so the Figure 7
+        # comparison isolates the promotion policy alone.
+        node.inserted_mru = True
+        node.stamp = self.clock
+        self.queue.move_to_mru(node)

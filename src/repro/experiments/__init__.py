@@ -1,0 +1,38 @@
+"""One module per paper table/figure; each exposes ``run(scale)`` returning
+tidy rows and ``main(scale)`` printing the paper-style table."""
+
+from repro.experiments import (
+    ablations,
+    convergence,
+    report,
+    common,
+    fig1_zro,
+    fig3_theoretical,
+    fig4_models,
+    fig6_tdc,
+    fig7_scip_vs_sci,
+    fig8_insertion,
+    fig9_resources_ins,
+    fig10_replacement,
+    fig11_resources_repl,
+    fig12_enhance,
+    table1_workloads,
+)
+
+__all__ = [
+    "common",
+    "table1_workloads",
+    "fig1_zro",
+    "fig3_theoretical",
+    "fig4_models",
+    "fig6_tdc",
+    "fig7_scip_vs_sci",
+    "fig8_insertion",
+    "fig9_resources_ins",
+    "fig10_replacement",
+    "fig11_resources_repl",
+    "fig12_enhance",
+    "ablations",
+    "convergence",
+    "report",
+]

@@ -1,0 +1,108 @@
+"""Ablations of SCIP's design choices (DESIGN.md §5).
+
+Each ablation varies one knob of :class:`~repro.core.scip.SCIPCache` on the
+CDN-T workload at the default cache size:
+
+* ``history`` — history-list reach (the paper's "half the real cache"
+  versus the lifetime-preserving reach our scaled setup needs);
+* ``learning_rate`` — Algorithm 2's adaptive λ versus fixed values;
+* ``unlearn`` — the random-restart threshold (paper default 10);
+* ``interval`` — the UPDATELR period ``i``;
+* ``escape`` — the bimodal reconciliation probability;
+* ``select_mode`` — §3.1's threshold select versus Algorithm 1's literal
+  Bernoulli γ-draw.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import Dict, List
+
+from repro.core.scip import SCIPCache
+from repro.experiments.common import (
+    CACHE_64GB_FRACTION,
+    POLICY_SEEDS,
+    get_trace,
+    print_table,
+)
+from repro.sim.engine import simulate
+
+__all__ = ["run", "main", "ABLATIONS"]
+
+
+def _mr(tr, cap: int, **kwargs) -> float:
+    mode = kwargs.pop("select_mode", None)
+    vals = []
+    for seed in POLICY_SEEDS:
+        p = SCIPCache(cap, seed=seed, **kwargs)
+        if mode is not None:
+            p.bandit.mode = mode
+        vals.append(simulate(p, tr).miss_ratio)
+    return mean(vals)
+
+
+#: ablation name -> list of (variant label, SCIPCache kwargs)
+ABLATIONS: Dict[str, List] = {
+    "interpretation": [
+        ("full SCIP (default)", {}),
+        ("Algorithm 1 literal (no per-object layer)", {"per_object": False}),
+        ("token-blind (all H_m ghosts = ZRO)", {"use_hit_token": False}),
+    ],
+    "history": [
+        ("hf=0.5 (paper literal)", {"history_fraction": 0.5}),
+        ("hf=4", {"history_fraction": 4.0}),
+        ("hf=32 (default)", {}),
+        ("hf=64", {"history_fraction": 64.0}),
+    ],
+    "learning_rate": [
+        ("adaptive (default)", {}),
+        ("fixed λ=0.01", {"initial_lambda": 0.01, "update_interval": 10**9}),
+        ("fixed λ=0.1", {"initial_lambda": 0.1, "update_interval": 10**9}),
+        ("fixed λ=0.5", {"initial_lambda": 0.5, "update_interval": 10**9}),
+    ],
+    "unlearn": [
+        ("unlearn=3", {"unlearn_limit": 3}),
+        ("unlearn=10 (paper)", {}),
+        ("unlearn=30", {"unlearn_limit": 30}),
+    ],
+    "interval": [
+        ("i=200", {"update_interval": 200}),
+        ("i=1000 (default)", {}),
+        ("i=5000", {"update_interval": 5000}),
+    ],
+    "escape": [
+        ("escape=0", {"escape": 0.0}),
+        ("escape=1/8 (default)", {}),
+        ("escape=1/2", {"escape": 0.5}),
+    ],
+    "select_mode": [
+        ("threshold (§3.1, default)", {}),
+        ("bernoulli (Alg. 1 SELECT)", {"select_mode": "bernoulli"}),
+    ],
+}
+
+
+def run(scale: str = "default", workload: str = "CDN-T") -> List[Dict]:
+    tr = get_trace(workload, scale)
+    cap = max(int(tr.working_set_size * CACHE_64GB_FRACTION[workload]), 1)
+    rows: List[Dict] = []
+    for ablation, variants in ABLATIONS.items():
+        for label, kwargs in variants:
+            rows.append(
+                {
+                    "ablation": ablation,
+                    "variant": label,
+                    "miss_ratio": _mr(tr, cap, **kwargs),
+                }
+            )
+    return rows
+
+
+def main(scale: str = "default") -> List[Dict]:
+    rows = run(scale)
+    print_table("SCIP design ablations (CDN-T)", rows, ["ablation", "variant", "miss_ratio"])
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Shared experiment configuration.
+
+Scaling decisions (see DESIGN.md §2 for rationale):
+
+* **Workloads** — the three Table-1 profiles at ``n_requests`` per scale
+  (the paper replays 78–100 M requests; we default to 120 k, which keeps a
+  full experiment suite in CPU-minutes while preserving every structural
+  property the figures measure).
+* **Cache sizes** — the paper's 64/128/256 GB are absolute; relative to
+  each workload's working-set size they differ per trace (64 GB is 5.8 % of
+  CDN-T's WSS but 19.6 % of CDN-W's).  We preserve the *ratios between
+  workloads* and anchor CDN-T's 64 GB equivalent at 2 % of WSS — the point
+  of our scaled traces' miss-ratio curves that corresponds to the steep
+  region the paper's Figure 1 shows its cache sizes sitting in.
+* **Seeds** — every policy is seedable; experiments that compare adaptive
+  policies head-to-head (Figure 7) average over ``POLICY_SEEDS``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence
+
+from repro.sim.request import Trace
+from repro.traces.cdn import make_workload
+
+__all__ = [
+    "SCALES",
+    "WORKLOAD_NAMES",
+    "CACHE_64GB_FRACTION",
+    "cache_fractions",
+    "get_trace",
+    "POLICY_SEEDS",
+    "print_table",
+]
+
+#: Requests per named scale.  ``smoke`` is for tests, ``bench`` for the
+#: pytest-benchmark suite, ``default`` for full experiment runs.
+SCALES: Dict[str, int] = {"smoke": 20_000, "bench": 100_000, "default": 150_000}
+
+WORKLOAD_NAMES = ("CDN-T", "CDN-W", "CDN-A")
+
+#: Fraction of each workload's WSS corresponding to the paper's 64 GB cache
+#: (paper ratios: 64 GB / {1097, 327, 1580} GB, anchored at CDN-T = 2 %).
+CACHE_64GB_FRACTION: Dict[str, float] = {
+    "CDN-T": 0.020,
+    "CDN-W": 0.068,
+    "CDN-A": 0.014,
+}
+
+#: Policy seeds averaged by the head-to-head adaptive comparisons.
+POLICY_SEEDS: Sequence[int] = (0, 1, 2)
+
+#: Fraction of each trace excluded from aggregate metrics as warm-up.  The
+#: paper replays 78–100 M requests, so adaptive policies' convergence is a
+#: negligible prefix; at our 500×-scaled traces it is not, and measuring
+#: post-warm-up restores the paper's steady-state comparison (the LRB
+#: evaluation does the same).
+WARMUP_FRAC: float = 0.3
+
+
+def cache_fractions(workload: str, sizes: Sequence[int] = (64, 128, 256)) -> List[float]:
+    """WSS fractions equivalent to the paper's absolute cache sizes (GB)."""
+    base = CACHE_64GB_FRACTION[workload]
+    return [base * (gb / 64) for gb in sizes]
+
+
+@lru_cache(maxsize=16)
+def get_trace(name: str, scale: str = "default") -> Trace:
+    """Build (and memoise) one of the three workloads at a named scale."""
+    try:
+        n = SCALES[scale]
+    except KeyError:
+        raise KeyError(f"unknown scale {scale!r}; choose from {list(SCALES)}") from None
+    return make_workload(name, n_requests=n)
+
+
+def print_table(title: str, rows: List[dict], columns: Sequence[str]) -> None:
+    """Print rows as a fixed-width table with a title banner."""
+    print(f"\n=== {title} ===")
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in columns}
+    print("  ".join(f"{c:>{widths[c]}}" for c in columns))
+    for r in rows:
+        print("  ".join(f"{_fmt(r.get(c)):>{widths[c]}}" for c in columns))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4f}"
+    return str(v)

@@ -1,0 +1,43 @@
+"""Figure 11 — resource profile of SCIP vs the replacement algorithms on
+CDN-T.
+
+Expected shapes: SCIP's CPU/memory slightly above the simple heuristics
+(LRU, S4LRU, GDSF) but well below the heavyweight learned policies (LRB,
+GL-Cache); SCIP's TPS below plain LRU/S4LRU but above the learned class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import CACHE_64GB_FRACTION, get_trace, print_table
+from repro.experiments.fig10_replacement import POLICY_SET
+from repro.perf.meters import profile_many
+
+__all__ = ["run", "main"]
+
+
+def run(scale: str = "default", workload: str = "CDN-T") -> List[Dict]:
+    tr = get_trace(workload, scale)
+    cap = max(int(tr.working_set_size * CACHE_64GB_FRACTION[workload]), 1)
+    factories = {
+        name: (lambda c, cls=cls: cls(c))
+        for name, cls in POLICY_SET.items()
+        if name != "Belady"
+    }
+    profiles = profile_many(factories, tr, cap)
+    return [p.as_dict() for p in profiles.values()]
+
+
+def main(scale: str = "default") -> List[Dict]:
+    rows = run(scale)
+    print_table(
+        "Figure 11: replacement-algorithm resource profile (CDN-T)",
+        rows,
+        ["policy", "tps", "cpu_percent", "metadata_bytes", "peak_alloc_bytes", "miss_ratio"],
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure 8 — miss ratios of Belady, SCIP and the eight insertion/promotion
+policies across three workloads and three cache sizes.
+
+Comparators: LIP, DIP, PIPP, DTA, SHiP, DGIPPR, DAAIP, ASC-IP — all on LRU
+victim selection, as in the paper.  Belady is the unattainable floor.
+
+Expected shapes: Belady < SCIP ≤ every comparator; ASC-IP is the closest
+comparator; LIP is among the worst (tail insertion in an object cache
+forfeits nearly all residency); miss ratios fall as the cache grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cache import POLICIES
+from repro.core.scip import SCIPCache
+from repro.experiments.common import (
+    WARMUP_FRAC,
+    WORKLOAD_NAMES,
+    cache_fractions,
+    get_trace,
+    print_table,
+)
+from repro.sim.runner import run_grid
+
+__all__ = ["run", "main", "POLICY_SET"]
+
+#: Display name → factory for the Figure 8 policy set.
+POLICY_SET = {
+    "Belady": POLICIES["Belady"],
+    "SCIP": SCIPCache,
+    "LIP": POLICIES["LIP"],
+    "DIP": POLICIES["DIP"],
+    "PIPP": POLICIES["PIPP"],
+    "DTA": POLICIES["DTA"],
+    "SHiP": POLICIES["SHiP"],
+    "DGIPPR": POLICIES["DGIPPR"],
+    "DAAIP": POLICIES["DAAIP"],
+    "ASC-IP": POLICIES["ASC-IP"],
+}
+
+
+def run(
+    scale: str = "default", sizes_gb: Sequence[int] = (64, 128, 256)
+) -> List[Dict]:
+    traces = [get_trace(name, scale) for name in WORKLOAD_NAMES]
+    fractions = {name: cache_fractions(name, sizes_gb) for name in WORKLOAD_NAMES}
+    factories = {name: (lambda cap, c=cls: c(cap)) for name, cls in POLICY_SET.items()}
+    return run_grid(factories, traces, fractions, warmup_frac=WARMUP_FRAC)
+
+
+def main(scale: str = "default") -> List[Dict]:
+    rows = run(scale)
+    print_table(
+        "Figure 8: insertion/promotion policies, miss ratio",
+        rows,
+        ["policy", "trace", "cache_fraction", "miss_ratio", "byte_miss_ratio"],
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Table 1 — workload summary statistics.
+
+Reproduces the paper's Table 1 for our scaled synthetic workloads: total
+requests, unique objects, size extremes/mean and working-set size.  The
+check is *relational*: CDN-W has by far the highest reuse (fewest objects
+per request) and the largest max object size; CDN-A has the most unique
+objects per request and the smallest max size; mean sizes sit in the
+30–45 KB band the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import WORKLOAD_NAMES, get_trace, print_table
+
+__all__ = ["run", "main"]
+
+#: Paper values for side-by-side printing.
+PAPER = {
+    "CDN-T": {"requests_M": 78.75, "unique_M": 24.71, "mean_KB": 44.56},
+    "CDN-W": {"requests_M": 100.0, "unique_M": 2.34, "mean_KB": 35.07},
+    "CDN-A": {"requests_M": 99.55, "unique_M": 54.43, "mean_KB": 31.21},
+}
+
+
+def run(scale: str = "default") -> List[Dict]:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        tr = get_trace(name, scale)
+        s = tr.summary()
+        paper = PAPER[name]
+        rows.append(
+            {
+                "workload": name,
+                "requests": s["total_requests"],
+                "unique_objects": s["unique_objects"],
+                "req_per_obj": s["total_requests"] / s["unique_objects"],
+                "paper_req_per_obj": paper["requests_M"] / paper["unique_M"],
+                "mean_size_KB": s["mean_object_size"] / 1024,
+                "paper_mean_KB": paper["mean_KB"],
+                "max_size_MB": s["max_object_size"] / 1e6,
+                "min_size_B": s["min_object_size"],
+                "wss_GB": s["working_set_size"] / 1e9,
+            }
+        )
+    return rows
+
+
+def main(scale: str = "default") -> List[Dict]:
+    rows = run(scale)
+    print_table(
+        "Table 1: workload summary",
+        rows,
+        [
+            "workload",
+            "requests",
+            "unique_objects",
+            "req_per_obj",
+            "paper_req_per_obj",
+            "mean_size_KB",
+            "paper_mean_KB",
+            "max_size_MB",
+            "wss_GB",
+        ],
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

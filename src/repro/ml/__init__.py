@@ -1,0 +1,32 @@
+"""From-scratch models: the Figure 4 classifier suite plus the regressors
+behind LRB and GL-Cache."""
+
+from repro.ml.features import N_FEATURES, FeatureTracker
+from repro.ml.gbm import GBMClassifier, GBMRegressor
+from repro.ml.linear import LinRegClassifier, LogRegClassifier, SVMClassifier
+from repro.ml.mabcls import MABClassifier
+from repro.ml.metrics import (
+    balanced_accuracy,
+    classification_report,
+    confusion,
+    precision_recall_f1,
+)
+from repro.ml.nn import NNClassifier
+from repro.ml.tree import RegressionTree
+
+__all__ = [
+    "RegressionTree",
+    "GBMRegressor",
+    "GBMClassifier",
+    "LinRegClassifier",
+    "LogRegClassifier",
+    "SVMClassifier",
+    "NNClassifier",
+    "MABClassifier",
+    "FeatureTracker",
+    "N_FEATURES",
+    "confusion",
+    "precision_recall_f1",
+    "balanced_accuracy",
+    "classification_report",
+]

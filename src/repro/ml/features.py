@@ -1,0 +1,128 @@
+"""Per-object feature tracking shared by LRB, GL-Cache and the Figure 4
+dataset builder.
+
+LRB's feature set (Song et al., NSDI'20) per object at decision time:
+
+* **deltas** — gaps between the most recent accesses (up to ``n_deltas``);
+* **EDCs** — exponentially decayed counters at geometrically spaced decay
+  half-lives, summarising access frequency at multiple timescales;
+* **static** — object size (log2) and total access count.
+
+:class:`FeatureTracker` maintains this state incrementally in O(1) per
+access and materialises numpy rows on demand.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["FeatureTracker", "N_FEATURES"]
+
+_N_DELTAS = 4
+_N_EDCS = 4
+#: Total feature vector width produced by :meth:`FeatureTracker.features`.
+N_FEATURES = _N_DELTAS + _N_EDCS + 2
+
+
+class _ObjState:
+    __slots__ = ("last_times", "edcs", "count", "size")
+
+    def __init__(self, size: int):
+        self.last_times: Deque[int] = deque(maxlen=_N_DELTAS + 1)
+        self.edcs = [0.0] * _N_EDCS
+        self.count = 0
+        self.size = size
+
+
+class FeatureTracker:
+    """Incremental per-object feature state.
+
+    Parameters
+    ----------
+    edc_base_halflife:
+        Half-life (in requests) of the fastest EDC; each subsequent EDC is
+        4× slower.
+    max_objects:
+        Safety cap on tracked objects; the oldest-untouched are dropped via
+        periodic sweep when exceeded (keeps memory bounded on churny
+        traces, mirroring LRB's memory window).
+    """
+
+    def __init__(self, edc_base_halflife: float = 1000.0, max_objects: int = 500_000):
+        self._objs: Dict[int, _ObjState] = {}
+        self.max_objects = max_objects
+        self._decays = [
+            0.5 ** (1.0 / (edc_base_halflife * 4**i)) for i in range(_N_EDCS)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._objs)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._objs
+
+    def touch(self, key: int, size: int, now: int) -> None:
+        """Record an access at logical time ``now``."""
+        st = self._objs.get(key)
+        if st is None:
+            if len(self._objs) >= self.max_objects:
+                self._sweep(now)
+            st = _ObjState(size)
+            self._objs[key] = st
+        prev = st.last_times[-1] if st.last_times else now
+        gap = max(now - prev, 0)
+        for i, decay in enumerate(self._decays):
+            st.edcs[i] = st.edcs[i] * (decay**gap) + 1.0
+        st.last_times.append(now)
+        st.count += 1
+        st.size = size
+
+    def _sweep(self, now: int) -> None:
+        """Drop the stalest half of tracked objects (memory-window bound)."""
+        items = sorted(
+            self._objs.items(),
+            key=lambda kv: kv[1].last_times[-1] if kv[1].last_times else 0,
+        )
+        for key, _ in items[: len(items) // 2]:
+            del self._objs[key]
+
+    def forget(self, key: int) -> None:
+        self._objs.pop(key, None)
+
+    def last_access(self, key: int) -> Optional[int]:
+        st = self._objs.get(key)
+        if st is None or not st.last_times:
+            return None
+        return st.last_times[-1]
+
+    def features(self, key: int, now: int) -> Optional[np.ndarray]:
+        """Feature row for ``key`` at time ``now`` (None if untracked)."""
+        st = self._objs.get(key)
+        if st is None:
+            return None
+        row = np.empty(N_FEATURES)
+        times = st.last_times
+        n = len(times)
+        # Deltas: now − t_last, t_last − t_{last−1}, …, log-compressed.
+        prev = now
+        for i in range(_N_DELTAS):
+            idx = n - 1 - i
+            if idx >= 0:
+                t = times[idx]
+                row[i] = math.log2(max(prev - t, 1) + 1)
+                prev = t
+            else:
+                row[i] = 32.0  # "never": saturate
+        for i in range(_N_EDCS):
+            row[_N_DELTAS + i] = st.edcs[i]
+        row[_N_DELTAS + _N_EDCS] = math.log2(max(st.size, 1))
+        row[_N_DELTAS + _N_EDCS + 1] = math.log2(st.count + 1)
+        return row
+
+    def metadata_bytes(self) -> int:
+        # times deque (5×8) + edcs (4×8) + count/size ≈ 96 B per object.
+        return 96 * len(self._objs)

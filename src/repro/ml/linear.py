@@ -1,0 +1,139 @@
+"""Linear models for the Figure 4 accuracy comparison.
+
+Three of the paper's six classifiers live here, all numpy-vectorised:
+
+* :class:`LinRegClassifier` — ordinary least squares (closed form via
+  ``lstsq``) used as a classifier by thresholding the regression output at
+  0.5, matching how [1] is applied to a binary task;
+* :class:`LogRegClassifier` — logistic regression trained by full-batch
+  gradient descent with L2 regularisation (the practical CTR-style setup of
+  [8]);
+* :class:`SVMClassifier` — linear soft-margin SVM trained by Pegasos-style
+  subgradient descent on the hinge loss [11].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinRegClassifier", "LogRegClassifier", "SVMClassifier"]
+
+
+def _check_xy(X: np.ndarray, y: np.ndarray):
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if len(X) != len(y):
+        raise ValueError("X and y length mismatch")
+    if len(X) == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not set(np.unique(y)) <= {0.0, 1.0}:
+        raise ValueError("labels must be binary {0, 1}")
+    return X, y
+
+
+def _with_bias(X: np.ndarray) -> np.ndarray:
+    return np.hstack([X, np.ones((len(X), 1))])
+
+
+class LinRegClassifier:
+    """Least-squares regression thresholded at 0.5."""
+
+    def __init__(self, ridge: float = 1e-6):
+        self.ridge = ridge
+        self._w: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinRegClassifier":
+        X, y = _check_xy(X, y)
+        Xb = _with_bias(X)
+        # Ridge-stabilised normal equations.
+        A = Xb.T @ Xb + self.ridge * np.eye(Xb.shape[1])
+        self._w = np.linalg.solve(A, Xb.T @ y)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self._w is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return _with_bias(X) @ self._w
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0.5).astype(np.int64)
+
+
+class LogRegClassifier:
+    """L2-regularised logistic regression, full-batch gradient descent."""
+
+    def __init__(self, lr: float = 0.5, n_iter: int = 300, l2: float = 1e-4):
+        self.lr = lr
+        self.n_iter = n_iter
+        self.l2 = l2
+        self._w: np.ndarray | None = None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogRegClassifier":
+        X, y = _check_xy(X, y)
+        Xb = _with_bias(X)
+        n, d = Xb.shape
+        w = np.zeros(d)
+        for _ in range(self.n_iter):
+            p = self._sigmoid(Xb @ w)
+            grad = Xb.T @ (p - y) / n + self.l2 * w
+            w -= self.lr * grad
+        self._w = w
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._w is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return self._sigmoid(_with_bias(X) @ self._w)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+
+class SVMClassifier:
+    """Linear SVM via Pegasos subgradient descent on the hinge loss."""
+
+    def __init__(self, lam: float = 1e-4, n_iter: int = 20, seed: int = 0):
+        self.lam = lam
+        self.n_iter = n_iter
+        self.seed = seed
+        self._w: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SVMClassifier":
+        X, y = _check_xy(X, y)
+        Xb = _with_bias(X)
+        ysign = 2.0 * y - 1.0  # {0,1} → {−1,+1}
+        n, d = Xb.shape
+        rng = np.random.default_rng(self.seed)
+        w = np.zeros(d)
+        t = 0
+        for _ in range(self.n_iter):
+            order = rng.permutation(n)
+            # Mini-batched Pegasos: vectorise over chunks for speed.
+            for start in range(0, n, 256):
+                t += 1
+                idx = order[start : start + 256]
+                eta = 1.0 / (self.lam * t)
+                margin = ysign[idx] * (Xb[idx] @ w)
+                viol = margin < 1.0
+                w *= 1.0 - eta * self.lam
+                if viol.any():
+                    w += (eta / len(idx)) * (ysign[idx][viol][:, None] * Xb[idx][viol]).sum(axis=0)
+        self._w = w
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self._w is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return _with_bias(X) @ self._w
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0.0).astype(np.int64)

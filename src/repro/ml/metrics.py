@@ -1,0 +1,62 @@
+"""Classification metrics beyond raw accuracy.
+
+Figure 4 reports accuracy; for the class-imbalanced ZRO/P-ZRO tasks the
+per-class structure is informative (the paper's §2.3 discusses exactly this
+imbalance-driven misjudgment), so the extended experiment also reports
+precision/recall/F1 and the confusion matrix.  Implemented here rather than
+pulled from scikit-learn to keep the dependency footprint at numpy+scipy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["confusion", "precision_recall_f1", "balanced_accuracy", "classification_report"]
+
+
+def confusion(y_true: np.ndarray, y_pred: np.ndarray) -> Dict[str, int]:
+    """Binary confusion counts (positive class = 1)."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred shape mismatch")
+    return {
+        "tp": int((y_true & y_pred).sum()),
+        "fp": int((~y_true & y_pred).sum()),
+        "fn": int((y_true & ~y_pred).sum()),
+        "tn": int((~y_true & ~y_pred).sum()),
+    }
+
+
+def precision_recall_f1(y_true: np.ndarray, y_pred: np.ndarray) -> Dict[str, float]:
+    """Precision, recall and F1 for the positive class."""
+    c = confusion(y_true, y_pred)
+    precision = c["tp"] / (c["tp"] + c["fp"]) if c["tp"] + c["fp"] else 0.0
+    recall = c["tp"] / (c["tp"] + c["fn"]) if c["tp"] + c["fn"] else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def balanced_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of per-class recalls — robust to the miss/hit imbalance the
+    paper highlights."""
+    c = confusion(y_true, y_pred)
+    tpr = c["tp"] / (c["tp"] + c["fn"]) if c["tp"] + c["fn"] else 0.0
+    tnr = c["tn"] / (c["tn"] + c["fp"]) if c["tn"] + c["fp"] else 0.0
+    return (tpr + tnr) / 2.0
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> Dict[str, float]:
+    """Accuracy + balanced accuracy + positive-class P/R/F1 in one dict."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    out: Dict[str, float] = {"accuracy": float((y_true == y_pred).mean())}
+    out["balanced_accuracy"] = balanced_accuracy(y_true, y_pred)
+    out.update(precision_recall_f1(y_true, y_pred))
+    return out

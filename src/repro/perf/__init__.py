@@ -1,0 +1,5 @@
+"""Resource meters for the Figure 9 / Figure 11 comparisons."""
+
+from repro.perf.meters import ResourceProfile, profile_many, profile_policy
+
+__all__ = ["ResourceProfile", "profile_policy", "profile_many"]

@@ -1,0 +1,21 @@
+"""Trace-driven cache simulator (the LRB-simulator replacement)."""
+
+from repro.sim.engine import SimResult, simulate
+from repro.sim.metrics import IntervalPoint, MetricsCollector
+from repro.sim.request import NO_NEXT_ACCESS, Request, Trace, annotate_next_access
+from repro.sim.parallel import run_grid_parallel
+from repro.sim.runner import format_table, run_grid
+
+__all__ = [
+    "Request",
+    "Trace",
+    "annotate_next_access",
+    "NO_NEXT_ACCESS",
+    "simulate",
+    "SimResult",
+    "MetricsCollector",
+    "IntervalPoint",
+    "run_grid",
+    "run_grid_parallel",
+    "format_table",
+]

@@ -1,0 +1,124 @@
+"""Trace-driven simulation engine (the LRB-simulator replacement).
+
+:func:`simulate` replays one trace through one policy, collecting engine-
+owned metrics plus resource measurements (wall-clock TPS, simulated
+metadata footprint, CPU time) for the Figure 9/11 comparisons.
+
+Policies that need future knowledge (Belady) require an annotated trace;
+the engine checks and annotates on demand.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.metrics import MetricsCollector
+from repro.sim.request import Trace, annotate_next_access
+
+if TYPE_CHECKING:  # avoid a circular import: cache.base uses sim.request
+    from repro.cache.base import CachePolicy
+
+__all__ = ["SimResult", "simulate"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one (policy, trace) replay."""
+
+    policy: str
+    trace: str
+    cache_bytes: int
+    requests: int
+    miss_ratio: float
+    byte_miss_ratio: float
+    #: wall-clock requests/second of the replay loop.
+    tps: float
+    #: policy CPU seconds (process time spent inside the replay).
+    cpu_seconds: float
+    #: simulated metadata footprint at end of run (policy-reported), bytes.
+    metadata_bytes: int
+    #: peak Python allocation during the run (tracemalloc), bytes; 0 when
+    #: memory tracing is off.
+    peak_alloc_bytes: int
+    metrics: MetricsCollector = field(repr=False, default=None)  # type: ignore[assignment]
+    policy_obj: "CachePolicy" = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "trace": self.trace,
+            "cache_bytes": self.cache_bytes,
+            "requests": self.requests,
+            "miss_ratio": self.miss_ratio,
+            "byte_miss_ratio": self.byte_miss_ratio,
+            "tps": self.tps,
+            "cpu_seconds": self.cpu_seconds,
+            "metadata_bytes": self.metadata_bytes,
+            "peak_alloc_bytes": self.peak_alloc_bytes,
+        }
+
+
+def simulate(
+    policy: "CachePolicy",
+    trace: Trace,
+    warmup: int = 0,
+    interval: int = 0,
+    measure_memory: bool = False,
+    needs_future: Optional[bool] = None,
+) -> SimResult:
+    """Replay ``trace`` through ``policy`` and collect metrics.
+
+    Parameters
+    ----------
+    policy:
+        A fresh policy instance (the engine does not reset state).
+    warmup:
+        Requests excluded from the aggregate metrics.
+    interval:
+        Interval-series resolution (0 = no series).
+    measure_memory:
+        Enable ``tracemalloc`` peak tracking (slows the run ~2×; used only
+        by the Figure 9/11 benches).
+    needs_future:
+        Force (or skip) next-access annotation.  Default: annotate when the
+        policy is an oracle (name contains "Belady") or LRB-like.
+    """
+    if needs_future is None:
+        needs_future = "belady" in policy.name.lower() or "lrb" in policy.name.lower()
+    if needs_future and not trace.annotated:
+        annotate_next_access(trace)
+
+    metrics = MetricsCollector(warmup=warmup, interval=interval)
+    if measure_memory:
+        tracemalloc.start()
+    request = policy.request  # bind once: the hot loop is two calls/request
+    record = metrics.record
+    t_cpu0 = time.process_time()
+    t0 = time.perf_counter()
+    for req in trace:
+        record(req.size, request(req))
+    elapsed = time.perf_counter() - t0
+    cpu = time.process_time() - t_cpu0
+    peak = 0
+    if measure_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    metrics.flush()
+
+    return SimResult(
+        policy=policy.name,
+        trace=trace.name,
+        cache_bytes=policy.capacity,
+        requests=len(trace),
+        miss_ratio=metrics.miss_ratio,
+        byte_miss_ratio=metrics.byte_miss_ratio,
+        tps=len(trace) / elapsed if elapsed > 0 else float("inf"),
+        cpu_seconds=cpu,
+        metadata_bytes=policy.metadata_bytes(),
+        peak_alloc_bytes=peak,
+        metrics=metrics,
+        policy_obj=policy,
+    )

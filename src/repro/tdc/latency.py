@@ -1,0 +1,75 @@
+"""Per-hop latency model for the TDC cluster.
+
+Figure 6(b) reports *average user access latency*; we model it as the sum
+of the hops a request traverses before finding its object:
+
+* OC hit — the edge cache answers (fast);
+* DC hit — OC missed, the data-center cache answers;
+* origin (COS) — both layers missed: "Backing To Origin", the slow path
+  whose traffic Figure 6(a) monitors.
+
+Latencies are drawn from lognormal distributions around configurable
+medians, seeded for determinism.  Defaults approximate public CDN numbers
+(edge ~15 ms, regional DC ~50 ms, origin ~200 ms + size-proportional
+transfer time at 1 Gbps).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Three-tier latency sampler.
+
+    Parameters
+    ----------
+    oc_ms, dc_ms, origin_ms:
+        Median latencies per tier (milliseconds).
+    sigma:
+        Lognormal shape (spread) of each draw.
+    origin_gbps:
+        Origin transfer bandwidth; adds ``size / bandwidth`` to origin
+        fetches so large BTO objects cost proportionally more.
+    """
+
+    def __init__(
+        self,
+        oc_ms: float = 15.0,
+        dc_ms: float = 50.0,
+        origin_ms: float = 200.0,
+        sigma: float = 0.25,
+        origin_gbps: float = 1.0,
+        seed: int = 0,
+    ):
+        if min(oc_ms, dc_ms, origin_ms) <= 0:
+            raise ValueError("latencies must be positive")
+        self.oc_ms = oc_ms
+        self.dc_ms = dc_ms
+        self.origin_ms = origin_ms
+        self.sigma = sigma
+        self.origin_bytes_per_ms = origin_gbps * 1e9 / 8 / 1e3
+        self.rng = random.Random(seed)
+
+    def _draw(self, median_ms: float) -> float:
+        return median_ms * math.exp(self.rng.gauss(0.0, self.sigma))
+
+    def oc_hit(self) -> float:
+        """Latency (ms) when the OC layer hits."""
+        return self._draw(self.oc_ms)
+
+    def dc_hit(self) -> float:
+        """Latency (ms) when OC misses but DC hits."""
+        return self._draw(self.oc_ms) + self._draw(self.dc_ms)
+
+    def origin_fetch(self, size: int) -> float:
+        """Latency (ms) for a full back-to-origin fetch of ``size`` bytes."""
+        return (
+            self._draw(self.oc_ms)
+            + self._draw(self.dc_ms)
+            + self._draw(self.origin_ms)
+            + size / self.origin_bytes_per_ms
+        )

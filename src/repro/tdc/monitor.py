@@ -1,0 +1,118 @@
+"""TDC monitoring system — the time series behind Figure 6.
+
+Tracks, per wall-clock bucket:
+
+* **BTO ratio** — fraction of requests served from the origin (the paper's
+  "Backing To Origin" ratio, i.e. the end-to-end miss ratio);
+* **BTO bandwidth** — origin traffic in Gbps (bytes fetched from COS per
+  bucket ÷ bucket duration);
+* **average user access latency** in milliseconds.
+
+`requests_per_second` converts logical request indices to wall time so the
+bandwidth axis has physical units, mirroring the production monitoring
+plots.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["Monitor", "MonitorBucket"]
+
+
+class MonitorBucket:
+    """Aggregates for one monitoring interval."""
+
+    __slots__ = ("start", "requests", "origin_fetches", "origin_bytes", "latency_sum")
+
+    def __init__(self, start: int):
+        self.start = start
+        self.requests = 0
+        self.origin_fetches = 0
+        self.origin_bytes = 0
+        self.latency_sum = 0.0
+
+    @property
+    def bto_ratio(self) -> float:
+        return self.origin_fetches / self.requests if self.requests else 0.0
+
+    @property
+    def avg_latency_ms(self) -> float:
+        return self.latency_sum / self.requests if self.requests else 0.0
+
+
+class Monitor:
+    """Bucketed BTO/latency collector.
+
+    Parameters
+    ----------
+    bucket_requests:
+        Requests per monitoring bucket.
+    requests_per_second:
+        Simulated request rate, used to express origin traffic in Gbps.
+    """
+
+    def __init__(self, bucket_requests: int = 10_000, requests_per_second: float = 2_000.0):
+        if bucket_requests < 1:
+            raise ValueError(f"bucket_requests must be >= 1, got {bucket_requests}")
+        self.bucket_requests = bucket_requests
+        self.requests_per_second = requests_per_second
+        self.buckets: List[MonitorBucket] = []
+        self._current = MonitorBucket(0)
+        self._seen = 0
+
+    def record(self, origin_fetch: bool, size: int, latency_ms: float) -> None:
+        cur = self._current
+        cur.requests += 1
+        cur.latency_sum += latency_ms
+        if origin_fetch:
+            cur.origin_fetches += 1
+            cur.origin_bytes += size
+        self._seen += 1
+        if cur.requests >= self.bucket_requests:
+            self.buckets.append(cur)
+            self._current = MonitorBucket(self._seen)
+
+    def flush(self) -> None:
+        if self._current.requests:
+            self.buckets.append(self._current)
+            self._current = MonitorBucket(self._seen)
+
+    # -- series accessors ---------------------------------------------------------
+    def bto_ratio_series(self) -> List[float]:
+        return [b.bto_ratio for b in self.buckets]
+
+    def bto_gbps_series(self) -> List[float]:
+        secs = self.bucket_requests / self.requests_per_second
+        return [b.origin_bytes * 8 / 1e9 / secs for b in self.buckets]
+
+    def latency_series(self) -> List[float]:
+        return [b.avg_latency_ms for b in self.buckets]
+
+    @staticmethod
+    def _avg(xs: List[float]) -> float:
+        return sum(xs) / len(xs) if xs else 0.0
+
+    def summary(self, split_at_bucket: int | None = None) -> dict:
+        """Aggregate stats; with ``split_at_bucket``, before/after averages
+        (the Figure 6 deployment comparison)."""
+        ratios = self.bto_ratio_series()
+        gbps = self.bto_gbps_series()
+        lat = self.latency_series()
+        out = {
+            "bto_ratio": self._avg(ratios),
+            "bto_gbps": self._avg(gbps),
+            "latency_ms": self._avg(lat),
+        }
+        if split_at_bucket is not None:
+            out["before"] = {
+                "bto_ratio": self._avg(ratios[:split_at_bucket]),
+                "bto_gbps": self._avg(gbps[:split_at_bucket]),
+                "latency_ms": self._avg(lat[:split_at_bucket]),
+            }
+            out["after"] = {
+                "bto_ratio": self._avg(ratios[split_at_bucket:]),
+                "bto_gbps": self._avg(gbps[split_at_bucket:]),
+                "latency_ms": self._avg(lat[split_at_bucket:]),
+            }
+        return out

@@ -1,0 +1,30 @@
+"""Synthetic CDN workloads, trace I/O, and ZRO/P-ZRO oracle analysis."""
+
+from repro.traces.analysis import CACHE_SIZE_FRACTIONS, Fig1Row, fig1_panel, reuse_statistics
+from repro.traces.cdn import WORKLOADS, make_workload, workload_names
+from repro.traces.mrc import miss_ratio_curve, stack_distances
+from repro.traces.oracle import OracleLabels, label_events, treated_replay
+from repro.traces.synthetic import WorkloadSpec, generate_trace, zipf_probs
+from repro.traces.transform import concat, interleave, sample_objects, slice_trace
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_trace",
+    "zipf_probs",
+    "WORKLOADS",
+    "make_workload",
+    "workload_names",
+    "OracleLabels",
+    "label_events",
+    "treated_replay",
+    "fig1_panel",
+    "Fig1Row",
+    "reuse_statistics",
+    "miss_ratio_curve",
+    "stack_distances",
+    "CACHE_SIZE_FRACTIONS",
+    "slice_trace",
+    "concat",
+    "interleave",
+    "sample_objects",
+]

@@ -1,0 +1,70 @@
+"""Trace file I/O.
+
+Two formats:
+
+* **LRB format** — whitespace-separated ``timestamp key size`` per line,
+  the format the LRB simulator (and thus the paper's evaluation) consumes.
+* **CSV** — ``time,key,size`` with a header, friendlier for pandas-style
+  downstream analysis.
+
+Both round-trip exactly through :class:`~repro.sim.request.Trace`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.sim.request import Request, Trace
+
+__all__ = ["write_lrb", "read_lrb", "write_csv", "read_csv"]
+
+PathLike = Union[str, Path]
+
+
+def write_lrb(trace: Trace, path: PathLike) -> None:
+    """Write in the LRB simulator's ``timestamp key size`` format."""
+    with open(path, "w") as fh:
+        for req in trace:
+            fh.write(f"{req.time} {req.key} {req.size}\n")
+
+
+def read_lrb(path: PathLike, name: str | None = None) -> Trace:
+    """Read an LRB-format trace file."""
+    requests = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{lineno}: expected 'time key size', got {line!r}")
+            t, k, s = parts
+            requests.append(Request(int(t), int(k), int(s)))
+    return Trace(requests, name=name or Path(path).stem)
+
+
+def write_csv(trace: Trace, path: PathLike) -> None:
+    """Write as CSV with a ``time,key,size`` header."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time", "key", "size"])
+        for req in trace:
+            writer.writerow([req.time, req.key, req.size])
+
+
+def read_csv(path: PathLike, name: str | None = None) -> Trace:
+    """Read a ``time,key,size`` CSV trace."""
+    requests = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["time", "key", "size"]:
+            raise ValueError(f"{path}: expected header 'time,key,size', got {header}")
+        for row in reader:
+            if not row:
+                continue
+            t, k, s = row
+            requests.append(Request(int(t), int(k), int(s)))
+    return Trace(requests, name=name or Path(path).stem)

@@ -1,0 +1,100 @@
+"""Trace transformations: slicing, concatenation, interleaving, sampling.
+
+Experiment building blocks:
+
+* :func:`slice_trace` — contiguous sub-trace (e.g. a storm window);
+* :func:`concat` — phase splicing (build regime-shift traces by hand);
+* :func:`interleave` — merge traces by timestamp with key-space isolation
+  (multi-tenant mixes);
+* :func:`sample_requests` — uniform request thinning (spatial sampling is
+  *wrong* for reuse structure — thinning keeps per-object patterns intact
+  by sampling objects, not requests).
+
+All functions re-time the output to a dense 0..n-1 clock and return fresh
+:class:`~repro.sim.request.Trace` objects (inputs are never mutated).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.sim.request import Request, Trace
+
+__all__ = ["slice_trace", "concat", "interleave", "sample_objects"]
+
+
+def _retime(requests: List[Request], name: str) -> Trace:
+    return Trace(
+        [Request(i, r.key, r.size) for i, r in enumerate(requests)], name=name
+    )
+
+
+def slice_trace(trace: Trace, start: int, stop: Optional[int] = None) -> Trace:
+    """Contiguous sub-trace ``[start, stop)``, re-timed from 0."""
+    n = len(trace)
+    stop = n if stop is None else min(stop, n)
+    if not 0 <= start < stop:
+        raise ValueError(f"invalid slice [{start}, {stop}) of {n}")
+    return _retime([trace[i] for i in range(start, stop)], f"{trace.name}[{start}:{stop}]")
+
+
+def concat(traces: Sequence[Trace], name: Optional[str] = None) -> Trace:
+    """Splice traces back to back (regime-shift construction).
+
+    Key spaces are kept as-is — concatenating a trace with itself models a
+    workload repeat; offset keys beforehand for independence.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    reqs: List[Request] = []
+    for tr in traces:
+        reqs.extend(tr)
+    return _retime(reqs, name or "+".join(t.name for t in traces))
+
+
+def interleave(
+    traces: Sequence[Trace], name: Optional[str] = None, isolate_keys: bool = True
+) -> Trace:
+    """Merge traces by their timestamps (multi-tenant traffic mix).
+
+    With ``isolate_keys`` each input's keys are offset into a disjoint
+    namespace, so tenants never share objects.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    streams = []
+    for idx, tr in enumerate(traces):
+        offset = idx * 10**12 if isolate_keys else 0
+        streams.append([(r.time, r.key + offset, r.size) for r in tr])
+    merged: List[tuple] = []
+    for s in streams:
+        merged.extend(s)
+    merged.sort(key=lambda t: t[0])
+    return _retime(
+        [Request(t, k, s) for t, k, s in merged],
+        name or "|".join(t.name for t in traces),
+    )
+
+
+def sample_objects(trace: Trace, fraction: float, seed: int = 0) -> Trace:
+    """Spatial sampling: keep all requests of a ``fraction`` of objects.
+
+    This is the SHARDS-style downscaling that preserves per-object reuse
+    patterns (request-level thinning would stretch every reuse distance).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = random.Random(seed)
+    keep: dict = {}
+    reqs = []
+    for r in trace:
+        flag = keep.get(r.key)
+        if flag is None:
+            flag = rng.random() < fraction
+            keep[r.key] = flag
+        if flag:
+            reqs.append(r)
+    if not reqs:
+        raise ValueError("sampling removed every request; raise the fraction")
+    return _retime(reqs, f"{trace.name}~{fraction:g}")

@@ -1,0 +1,130 @@
+"""CachePolicy / QueueCache contract tests (capacity, bypass, stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.base import CacheStats
+from repro.cache.lru import LRUCache
+from repro.sim.request import Request
+
+
+class TestCacheStats:
+    def test_initial(self):
+        s = CacheStats()
+        assert s.requests == 0
+        assert s.miss_ratio == 0.0
+        assert s.hit_ratio == 0.0
+        assert s.byte_miss_ratio == 0.0
+
+    def test_ratios(self):
+        s = CacheStats()
+        s.hits, s.misses = 3, 1
+        s.bytes_hit, s.bytes_missed = 300, 100
+        assert s.miss_ratio == 0.25
+        assert s.hit_ratio == 0.75
+        assert s.byte_miss_ratio == 0.25
+
+    def test_reset(self):
+        s = CacheStats()
+        s.hits = 5
+        s.reset()
+        assert s.hits == 0 and s.requests == 0
+
+    def test_as_dict_keys(self):
+        d = CacheStats().as_dict()
+        assert {"requests", "hits", "misses", "miss_ratio", "byte_miss_ratio"} <= set(d)
+
+
+class TestPolicyContract:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+        with pytest.raises(ValueError):
+            LRUCache(-5)
+
+    def test_miss_then_hit(self):
+        c = LRUCache(100)
+        assert c.request(Request(0, 1, 10)) is False
+        assert c.request(Request(1, 1, 10)) is True
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_capacity_never_exceeded(self):
+        c = LRUCache(50)
+        for i in range(20):
+            c.request(Request(i, i, 17))
+            assert c.used <= 50
+            c.check_invariants()
+
+    def test_oversized_object_bypassed(self):
+        c = LRUCache(100)
+        c.request(Request(0, 1, 10))
+        assert c.request(Request(1, 2, 500)) is False
+        assert c.stats.bypasses == 1
+        assert not c.contains(2)
+        # The resident object survives the bypass.
+        assert c.contains(1)
+
+    def test_eviction_order_is_lru(self):
+        c = LRUCache(30)
+        c.request(Request(0, 1, 10))
+        c.request(Request(1, 2, 10))
+        c.request(Request(2, 3, 10))
+        c.request(Request(3, 1, 10))  # touch 1 → LRU victim is 2
+        c.request(Request(4, 4, 10))  # evicts 2
+        assert not c.contains(2)
+        assert c.contains(1) and c.contains(3) and c.contains(4)
+
+    def test_size_update_on_hit(self):
+        c = LRUCache(100)
+        c.request(Request(0, 1, 10))
+        c.request(Request(1, 1, 40))  # object grew at the origin
+        assert c.used == 40
+        c.check_invariants()
+
+    def test_size_update_can_trigger_room_logic(self):
+        c = LRUCache(100)
+        c.request(Request(0, 1, 50))
+        c.request(Request(1, 2, 50))
+        # Object 1 grows on hit; accounting must stay exact.
+        c.request(Request(2, 1, 30))
+        assert c.used == 80
+        c.check_invariants()
+
+    def test_contains_has_no_side_effects(self):
+        c = LRUCache(30)
+        c.request(Request(0, 1, 10))
+        c.request(Request(1, 2, 10))
+        before = c.resident_keys()
+        assert c.contains(1)
+        assert c.resident_keys() == before
+
+    def test_remove_is_silent(self):
+        c = LRUCache(30)
+        c.request(Request(0, 1, 10))
+        node = c.remove(1)
+        assert node is not None and node.key == 1
+        assert c.stats.evictions == 0
+        assert c.used == 0
+        assert c.remove(99) is None
+
+    def test_len_and_metadata(self):
+        c = LRUCache(100)
+        for i in range(5):
+            c.request(Request(i, i, 10))
+        assert len(c) == 5
+        assert c.metadata_bytes() == 110 * 5
+
+    def test_clock_advances(self):
+        c = LRUCache(100)
+        for i in range(7):
+            c.request(Request(i, 1, 10))
+        assert c.clock == 7
+
+    def test_hit_token_counts_hits(self):
+        c = LRUCache(100)
+        c.request(Request(0, 1, 10))
+        assert c.index[1].hit_token == 0
+        c.request(Request(1, 1, 10))
+        c.request(Request(2, 1, 10))
+        assert c.index[1].hit_token == 2

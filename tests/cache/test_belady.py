@@ -1,0 +1,104 @@
+"""Belady MIN oracle: correctness on hand-built sequences and optimality
+relative to online policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import POLICIES
+from repro.cache.belady import BeladyCache
+from repro.cache.lru import LRUCache
+from repro.sim.request import Request, Trace, annotate_next_access
+
+
+def run(policy, trace):
+    for r in trace:
+        policy.request(r)
+    return policy.stats.miss_ratio
+
+
+def make_trace(keys, size=10):
+    return annotate_next_access(
+        Trace([Request(i, k, size) for i, k in enumerate(keys)])
+    )
+
+
+class TestBelady:
+    def test_classic_example(self):
+        # 2-slot cache, sequence where MIN beats LRU:
+        # LRU on [1,2,3,1,2,3...] with cap 2 thrashes; MIN keeps 1.
+        keys = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        b = BeladyCache(20)
+        lru = LRUCache(20)
+        tr = make_trace(keys)
+        assert run(b, tr) < run(lru, tr)
+
+    def test_never_reaccessed_objects_bypassed(self):
+        tr = make_trace([1, 2, 3, 4, 5])  # all singletons
+        b = BeladyCache(20)
+        run(b, tr)
+        assert len(b) == 0, "MIN must not cache objects with no future access"
+
+    def test_exact_min_on_known_sequence(self):
+        # Belady's original example pattern, capacity 3 unit objects.
+        keys = [7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2]
+        tr = make_trace(keys, size=1)
+        b = BeladyCache(3)
+        misses = sum(not b.request(r) for r in tr)
+        # Classic MIN faults 7 times on this prefix at capacity 3.  Our MIN
+        # bypasses never-reaccessed objects (7 and 4), which saves exactly
+        # one later eviction-induced fault → 6.  Bypass-MIN ≤ classic MIN.
+        assert misses == 6
+
+    def test_beats_every_online_policy(self, cdn_t_small):
+        cap = int(cdn_t_small.working_set_size * 0.03)
+        annotate_next_access(cdn_t_small)
+        belady_mr = run(BeladyCache(cap), cdn_t_small)
+        for name in ["LRU", "LFU", "S4LRU", "GDSF", "ASC-IP"]:
+            p = POLICIES[name](cap)
+            assert belady_mr <= run(p, cdn_t_small) + 1e-9, f"Belady lost to {name}"
+
+    def test_requires_or_tolerates_unannotated(self):
+        # Unannotated trace: every request looks like "never again" → all
+        # bypassed; miss ratio 1 but no crash.
+        tr = Trace([Request(i, i % 3, 10) for i in range(10)])
+        b = BeladyCache(100)
+        mr = run(b, tr)
+        assert mr == 1.0
+
+
+class TestBeladySize:
+    def test_prefers_evicting_large_objects(self):
+        from repro.cache.beladysize import BeladySizeCache
+
+        # Two residents with future accesses: big (90 B, next in 3 steps)
+        # costs 270 byte·steps; small (10 B, next in 4 steps) costs 40.
+        # Classic MIN would evict the *farther* small object; the sized
+        # oracle evicts the big one and keeps the cheap small hit.
+        reqs = [
+            Request(0, "big", 90),
+            Request(1, "small", 10),
+            Request(2, "new", 20),   # re-accessed later → admitted → evicts
+            Request(3, "big", 90),
+            Request(4, "small", 10),
+            Request(5, "new", 20),
+        ]
+        tr = annotate_next_access(Trace(reqs))
+        b = BeladySizeCache(100)
+        b.request(tr[0])
+        b.request(tr[1])
+        b.request(tr[2])
+        assert not b.contains("big")
+        assert b.contains("small")
+
+    def test_size_oracle_vs_classic_on_cdn(self, cdn_t_small):
+        """On CDN sizes the greedy size-aware floor is usually at or below
+        classic MIN for the object miss ratio; assert it's never much
+        worse (greedy is not optimal, so small inversions are legal)."""
+        from repro.cache.beladysize import BeladySizeCache
+
+        annotate_next_access(cdn_t_small)
+        cap = int(cdn_t_small.working_set_size * 0.02)
+        classic = run(BeladyCache(cap), cdn_t_small)
+        sized = run(BeladySizeCache(cap), cdn_t_small)
+        assert sized <= classic + 0.02

@@ -1,0 +1,122 @@
+"""LRB and GL-Cache: the learned comparators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.glcache import GLCache
+from repro.cache.lrb import LRBCache, RelaxedBeladyLearner
+from repro.cache.lru import LRUCache
+from repro.sim.request import Request
+
+
+def feed_pattern(policy, n=4_000, period=37, n_keys=400, seed=3):
+    import random
+
+    rng = random.Random(seed)
+    for i in range(n):
+        if rng.random() < 0.5:
+            key = rng.randrange(20)           # hot set
+        else:
+            key = 100 + (i % n_keys)          # cyclic scan
+        policy.request(Request(i, key, 50))
+
+
+class TestRelaxedBeladyLearner:
+    def test_trains_after_enough_samples(self):
+        learner = RelaxedBeladyLearner(memory_window=500, retrain_interval=400)
+        for i in range(3_000):
+            learner.on_access(i % 60, 50, i)
+        assert learner.trainings >= 1
+        assert learner.model is not None
+
+    def test_labels_are_log_gaps(self):
+        learner = RelaxedBeladyLearner(memory_window=1000, retrain_interval=10**9)
+        # Access key 1 at t=10 and t=74: the harvested label is log2(64).
+        learner.on_access(1, 50, 10)
+        learner.on_access(1, 50, 74)
+        assert any(abs(y - 6.0) < 1e-9 for y in learner._y)
+
+    def test_boundary_label_for_stale(self):
+        learner = RelaxedBeladyLearner(memory_window=100, retrain_interval=50)
+        learner.on_access(1, 50, 0)
+        for i in range(1, 400):
+            learner.on_access(1000 + i, 50, i)
+        boundary = learner._boundary_label()
+        assert any(abs(y - boundary) < 1e-9 for y in learner._y)
+
+    def test_choose_victim_none_before_training(self):
+        learner = RelaxedBeladyLearner()
+        assert learner.choose_victim_key(0) is None
+
+    def test_pool_tracking(self):
+        learner = RelaxedBeladyLearner()
+        for k in range(10):
+            learner.track_insert(k)
+        learner.track_evict(3)
+        learner.track_evict(9)
+        assert 3 not in learner._key_pos and 9 not in learner._key_pos
+        assert len(learner._keys) == 8
+        learner.track_evict(999)  # unknown key: no-op
+
+
+class TestLRB:
+    def test_runs_and_respects_capacity(self, cdn_t_small):
+        p = LRBCache(
+            int(cdn_t_small.working_set_size * 0.02),
+            memory_window=3_000,
+            retrain_interval=3_000,
+        )
+        for r in cdn_t_small:
+            p.request(r)
+            assert p.used <= p.capacity
+        assert p.learner.trainings >= 1
+
+    def test_not_catastrophically_worse_than_lru(self, cdn_t_small):
+        cap = int(cdn_t_small.working_set_size * 0.02)
+        p = LRBCache(cap, memory_window=3_000, retrain_interval=3_000)
+        l = LRUCache(cap)
+        for r in cdn_t_small:
+            p.request(r)
+            l.request(r)
+        assert p.stats.miss_ratio <= l.stats.miss_ratio + 0.05
+
+
+class TestGLCache:
+    def test_groups_seal_at_byte_budget(self):
+        c = GLCache(10_000, group_bytes=500)
+        for i in range(50):
+            c.request(Request(i, i, 100))
+        assert len(c._groups) > 1
+
+    def test_group_eviction_is_bulk(self):
+        c = GLCache(1_000, group_bytes=300)
+        for i in range(10):
+            c.request(Request(i, i, 100))  # exactly fills the cache
+        before = len(c)
+        c.request(Request(10, 99, 100))  # overflow triggers a group eviction
+        # At least a whole group's objects (>= 2) left together.
+        assert before + 1 - len(c) >= 2 or c.stats.evictions >= 3
+
+    def test_learning_kicks_in(self):
+        c = GLCache(2_000, group_bytes=200, retrain_interval=8)
+        feed_pattern(c, n=6_000)
+        assert c.trainings >= 1
+        assert c._w is not None and len(c._w) == 6
+
+    def test_capacity_and_accounting(self, zipf_trace):
+        c = GLCache(20_000)
+        for r in zipf_trace:
+            c.request(r)
+            assert c.used <= c.capacity
+        assert sum(g.bytes for g in c._groups.values()) == c.used
+        assert sum(len(g.keys) for g in c._groups.values()) == len(c)
+
+    def test_learned_beats_or_matches_cold_fifo_groups(self, cdn_t_small):
+        cap = int(cdn_t_small.working_set_size * 0.02)
+        learned = GLCache(cap, retrain_interval=32)
+        frozen = GLCache(cap, retrain_interval=10**9)  # never trains
+        for r in cdn_t_small:
+            learned.request(r)
+            frozen.request(r)
+        assert learned.stats.miss_ratio <= frozen.stats.miss_ratio + 0.03

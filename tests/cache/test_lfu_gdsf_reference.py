@@ -1,0 +1,88 @@
+"""Differential tests: LFU and GDSF against O(n) reference models."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.gdsf import GDSFCache
+from repro.cache.lfu import LFUCache
+from repro.sim.request import Request
+
+streams = st.lists(
+    st.tuples(st.integers(0, 18), st.integers(1, 120)), min_size=1, max_size=250
+)
+
+
+class RefLFU:
+    """Reference LFU: dict of (freq, last_touch) with full scans."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.freq: dict = {}
+        self.touch: dict = {}
+        self.sizes: dict = {}
+        self.t = 0
+
+    def request(self, key: int, size: int) -> bool:
+        self.t += 1
+        if key in self.sizes:
+            self.freq[key] += 1
+            self.touch[key] = self.t
+            self.sizes[key] = size
+            while sum(self.sizes.values()) > self.capacity and self.sizes:
+                self._evict()
+            return True
+        if size > self.capacity:
+            return False
+        while sum(self.sizes.values()) + size > self.capacity and self.sizes:
+            self._evict()
+        self.freq[key] = 1
+        self.touch[key] = self.t
+        self.sizes[key] = size
+        return False
+
+    def _evict(self) -> None:
+        victim = min(self.sizes, key=lambda k: (self.freq[k], self.touch[k]))
+        del self.sizes[victim]
+        del self.freq[victim]
+        del self.touch[victim]
+
+
+@settings(max_examples=100, deadline=None)
+@given(streams, st.integers(100, 1_500))
+def test_lfu_matches_reference(data, capacity):
+    """The O(1) frequency-bucket LFU must agree with the brute-force model
+    on every hit/miss outcome and the final resident set."""
+    real = LFUCache(capacity)
+    ref = RefLFU(capacity)
+    for i, (k, s) in enumerate(data):
+        assert real.request(Request(i, k, s)) == ref.request(k, s), (i, k, s)
+    assert set(real._entries) == set(ref.sizes)
+
+
+class TestGDSFPriorities:
+    def test_priority_formula(self):
+        c = GDSFCache(10_000)
+        c.request(Request(0, 1, 100))
+        # freq 1, inflation 0 → H = 0 + 1/100.
+        assert c._prio[1] == 1 / 100
+        c.request(Request(1, 1, 100))
+        assert c._prio[1] == 2 / 100
+
+    def test_inflation_applied_to_new_entries(self):
+        c = GDSFCache(150)
+        c.request(Request(0, 1, 100))
+        c.request(Request(1, 2, 100))  # evicts 1 → inflation = H(1) = 0.01
+        assert c.inflation == 1 / 100
+        c.request(Request(2, 3, 40))
+        assert c._prio[3] == c.inflation + 1 / 40
+
+    def test_eviction_is_min_priority(self):
+        c = GDSFCache(220)
+        c.request(Request(0, 1, 100))   # H = .01
+        c.request(Request(1, 2, 100))   # H = .01, younger
+        c.request(Request(2, 1, 100))   # bump 1 → H = .02
+        c.request(Request(3, 3, 100))   # must evict 2 (lowest H, oldest)
+        assert not c.contains(2)
+        assert c.contains(1)

@@ -1,0 +1,93 @@
+"""LIRS and CLOCK behavioural tests."""
+
+from __future__ import annotations
+
+from repro.cache.clock import ClockCache
+from repro.cache.lirs import LIRSCache
+from repro.cache.lru import LRUCache
+from repro.sim.request import Request
+
+
+def feed(p, keys, size=10, t0=0):
+    for i, k in enumerate(keys):
+        p.request(Request(t0 + i, k, size))
+
+
+class TestLIRS:
+    def test_cold_fills_lir_region(self):
+        c = LIRSCache(100, hir_fraction=0.2)
+        feed(c, [1, 2])
+        assert c.contains(1) and c.contains(2)
+        assert c.lir_bytes == 20
+
+    def test_small_irr_promotes_to_lir(self):
+        c = LIRSCache(1_000, hir_fraction=0.5)
+        # Fill LIR (cap 500) with 50 objects of 10 B.
+        feed(c, range(50))
+        # 100 is new: enters HIR; re-access while still in S → LIR.
+        feed(c, [100, 100], t0=100)
+        from repro.cache.lirs import _LIR
+
+        assert c._state[100][2] == _LIR
+
+    def test_scan_resistance_beats_lru(self, scan_trace):
+        """The defining LIRS property: a long scan cannot displace the LIR
+        working set, unlike LRU."""
+        hot_keys = [9000 + i for i in range(10)]
+        warm = [Request(i, k, 100) for i, k in enumerate(hot_keys * 6)]
+        scan = list(scan_trace)[:300]
+        probe = [Request(9999 + i, k, 100) for i, k in enumerate(hot_keys * 2)]
+        seq = warm + scan + probe
+        cap = 2_500
+        lirs, lru = LIRSCache(cap), LRUCache(cap)
+        lh = sum(lirs.request(r) for r in seq)
+        rh = sum(lru.request(r) for r in seq)
+        assert lh > rh
+
+    def test_capacity_respected(self, zipf_trace):
+        c = LIRSCache(20_000)
+        for r in zipf_trace:
+            c.request(r)
+            assert c.used <= c.capacity
+
+    def test_nonresident_metadata_bounded(self, zipf_trace):
+        c = LIRSCache(10_000, nonres_factor=1.0)
+        for r in zipf_trace:
+            c.request(r)
+        assert c._nonres_bytes <= c._nonres_budget
+
+    def test_rejects_bad_fraction(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LIRSCache(100, hir_fraction=1.5)
+
+
+class TestClock:
+    def test_second_chance(self):
+        c = ClockCache(30)
+        feed(c, [1, 2, 3])
+        c.request(Request(3, 1, 10))  # sets 1's reference bit
+        c.request(Request(4, 4, 10))  # hand clears 1's bit, evicts 2
+        assert c.contains(1)
+        assert not c.contains(2)
+
+    def test_unreferenced_evicted_in_order(self):
+        c = ClockCache(30)
+        feed(c, [1, 2, 3])
+        c.request(Request(3, 4, 10))  # no bits set: evict 1 (oldest)
+        assert not c.contains(1)
+
+    def test_close_to_lru_on_skewed_traffic(self, zipf_trace):
+        cap = 20_000
+        clock, lru = ClockCache(cap), LRUCache(cap)
+        for r in zipf_trace:
+            clock.request(r)
+            lru.request(r)
+        assert abs(clock.stats.miss_ratio - lru.stats.miss_ratio) < 0.08
+
+    def test_capacity(self, zipf_trace):
+        c = ClockCache(15_000)
+        for r in zipf_trace:
+            c.request(r)
+            assert c.used <= c.capacity

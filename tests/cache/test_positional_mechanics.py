@@ -1,0 +1,106 @@
+"""Mechanics of positional insertion (PIPP finger, DGIPPR depth walks) and
+other internals not visible through miss ratios alone."""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache.dgippr import DGIPPRCache
+from repro.cache.pipp import PIPPCache
+from repro.sim.request import Request
+
+
+def feed(p, n, size=10, key0=0):
+    for i in range(n):
+        p.request(Request(i, key0 + i, size))
+
+
+class TestPIPPFinger:
+    def test_finger_survives_eviction_of_anchor(self):
+        """Evicting the node the finger points at must not crash insertion
+        (the finger detects its unlinked anchor and recalibrates)."""
+        c = PIPPCache(200, insert_frac=0.5, rng=random.Random(0))
+        feed(c, 60)  # heavy churn: anchors get evicted constantly
+        assert c.used <= c.capacity
+        c.check_invariants()
+
+    def test_insert_frac_zero_is_tail(self):
+        c = PIPPCache(1_000, insert_frac=0.0, rng=random.Random(0))
+        feed(c, 5)
+        assert c.queue.tail.key == 4
+
+    def test_insert_frac_extremes_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PIPPCache(100, insert_frac=1.5)
+
+    def test_recalibration_depth_tracks_queue(self):
+        c = PIPPCache(10_000, insert_frac=0.5, rng=random.Random(0))
+        feed(c, 100)
+        c._recalibrate()
+        # The finger should sit mid-queue: not head, not tail.
+        keys = c.resident_keys()
+        pos = keys.index(c._finger.key)
+        assert 0.2 * len(keys) < pos < 0.8 * len(keys)
+
+
+class TestDGIPPRDepthWalk:
+    def test_depth_one_is_mru(self):
+        c = DGIPPRCache(1_000, rng=random.Random(0))
+        # Force the active chromosome to all-MRU genes.
+        c._pop[c._active].genes = [1.0, 1.0, 1.0, 1.0]
+        feed(c, 5)
+        assert c.queue.head.key == 4
+        assert c.index[4].inserted_mru is True
+
+    def test_depth_zero_is_tail(self):
+        c = DGIPPRCache(1_000, rng=random.Random(0))
+        for chrom in c._pop:
+            chrom.genes = [0.0, 0.0, 0.0, 0.0]
+        feed(c, 5)
+        assert c.queue.tail.key == 4
+
+    def test_walk_bounded(self):
+        """Mid-depth placement walks at most a bounded number of steps even
+        on a long queue (amortised O(1) per insertion)."""
+        c = DGIPPRCache(100_000, rng=random.Random(0))
+        for chrom in c._pop:
+            chrom.genes = [0.5, 0.5, 0.5, 0.5]
+        feed(c, 2_000)
+        keys = c.resident_keys()
+        pos = keys.index(1_999)  # most recent insert
+        # _MAX_WALK = 32: the node sits within 32 steps of the tail.
+        assert pos >= len(keys) - 33
+
+    def test_hit_count_gene_selection(self):
+        c = DGIPPRCache(1_000, rng=random.Random(0))
+        for chrom in c._pop:
+            chrom.genes = [1.0, 0.0, 1.0, 1.0]  # first hit demotes to tail
+        feed(c, 3)
+        c.request(Request(10, 0, 10))  # first hit of key 0 → gene[1] = tail
+        assert c.queue.tail.key == 0
+        c.request(Request(11, 0, 10))  # second hit → gene[2] = MRU
+        assert c.queue.head.key == 0
+
+
+class TestIntervalPointMath:
+    def test_byte_ratios(self):
+        from repro.sim.metrics import IntervalPoint
+
+        p = IntervalPoint(0)
+        p.requests = 4
+        p.hits = 1
+        p.bytes_requested = 100
+        p.bytes_missed = 75
+        assert p.miss_ratio == 0.75
+        assert p.hit_ratio == 0.25
+        assert p.byte_miss_ratio == 0.75
+        assert set(p.as_dict()) >= {"start", "end", "miss_ratio"}
+
+    def test_empty_interval_safe(self):
+        from repro.sim.metrics import IntervalPoint
+
+        p = IntervalPoint(0)
+        assert p.miss_ratio == 0.0
+        assert p.byte_miss_ratio == 0.0

@@ -1,0 +1,190 @@
+"""Unit + property tests for the intrusive linked queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.queue import LinkedQueue, Node
+
+
+def make(key, size=1):
+    return Node(key, size)
+
+
+class TestBasics:
+    def test_empty(self):
+        q = LinkedQueue()
+        assert len(q) == 0
+        assert not q
+        assert q.head is None
+        assert q.tail is None
+        assert q.bytes == 0
+
+    def test_push_mru_order(self):
+        q = LinkedQueue()
+        for k in [1, 2, 3]:
+            q.push_mru(make(k))
+        assert q.keys() == [3, 2, 1]
+        assert q.head.key == 3
+        assert q.tail.key == 1
+
+    def test_push_lru_order(self):
+        q = LinkedQueue()
+        for k in [1, 2, 3]:
+            q.push_lru(make(k))
+        assert q.keys() == [1, 2, 3]
+
+    def test_bytes_accounting(self):
+        q = LinkedQueue()
+        q.push_mru(make(1, 10))
+        q.push_lru(make(2, 5))
+        assert q.bytes == 15
+        q.pop_lru()
+        assert q.bytes == 10
+
+    def test_pop_lru(self):
+        q = LinkedQueue()
+        for k in [1, 2, 3]:
+            q.push_mru(make(k))
+        assert q.pop_lru().key == 1
+        assert q.pop_lru().key == 2
+        assert q.pop_lru().key == 3
+        with pytest.raises(IndexError):
+            q.pop_lru()
+
+    def test_pop_mru(self):
+        q = LinkedQueue()
+        for k in [1, 2]:
+            q.push_mru(make(k))
+        assert q.pop_mru().key == 2
+        assert q.pop_mru().key == 1
+        with pytest.raises(IndexError):
+            q.pop_mru()
+
+    def test_unlink_middle(self):
+        q = LinkedQueue()
+        nodes = [make(k) for k in [1, 2, 3]]
+        for n in nodes:
+            q.push_mru(n)
+        q.unlink(nodes[1])  # key 2
+        assert q.keys() == [3, 1]
+        assert nodes[1].prev is None and nodes[1].next is None
+
+    def test_move_to_mru(self):
+        q = LinkedQueue()
+        nodes = [make(k) for k in [1, 2, 3]]
+        for n in nodes:
+            q.push_mru(n)
+        q.move_to_mru(nodes[0])
+        assert q.keys() == [1, 3, 2]
+
+    def test_move_to_lru(self):
+        q = LinkedQueue()
+        nodes = [make(k) for k in [1, 2, 3]]
+        for n in nodes:
+            q.push_mru(n)
+        q.move_to_lru(nodes[2])
+        assert q.keys() == [2, 1, 3]
+
+    def test_promote_one(self):
+        q = LinkedQueue()
+        nodes = [make(k) for k in [1, 2, 3]]
+        for n in nodes:
+            q.push_mru(n)
+        # keys: [3, 2, 1]; promote key 1 one step -> [3, 1, 2]
+        q.promote_one(nodes[0])
+        assert q.keys() == [3, 1, 2]
+
+    def test_promote_one_at_head_is_noop(self):
+        q = LinkedQueue()
+        nodes = [make(k) for k in [1, 2]]
+        for n in nodes:
+            q.push_mru(n)
+        q.promote_one(nodes[1])  # already MRU
+        assert q.keys() == [2, 1]
+
+    def test_insert_before_after(self):
+        q = LinkedQueue()
+        a, b = make("a"), make("b")
+        q.push_mru(a)
+        q.insert_before(b, a)
+        assert q.keys() == ["b", "a"]
+        c = make("c")
+        q.insert_after(c, b)
+        assert q.keys() == ["b", "c", "a"]
+
+    def test_iter_lru(self):
+        q = LinkedQueue()
+        for k in [1, 2, 3]:
+            q.push_mru(k_node := make(k))
+        assert [n.key for n in q.iter_lru()] == [1, 2, 3]
+
+    def test_unlink_while_iterating(self):
+        q = LinkedQueue()
+        nodes = [make(k) for k in range(5)]
+        for n in nodes:
+            q.push_mru(n)
+        seen = []
+        for n in q:
+            seen.append(n.key)
+            q.unlink(n)
+        assert seen == [4, 3, 2, 1, 0]
+        assert len(q) == 0
+
+
+@st.composite
+def queue_ops(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["push_mru", "push_lru", "pop_lru", "pop_mru", "move_mru", "move_lru", "promote"]
+                ),
+                st.integers(min_value=1, max_value=500),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+
+
+class TestProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(queue_ops())
+    def test_invariants_under_random_ops(self, ops):
+        """The queue's structural invariants survive arbitrary op sequences,
+        and its key order matches a plain-list reference model."""
+        q = LinkedQueue()
+        model = []  # list of (key, node), MRU first
+        for op, size in ops:
+            if op == "push_mru":
+                n = make(len(model), size)
+                q.push_mru(n)
+                model.insert(0, n)
+            elif op == "push_lru":
+                n = make(len(model), size)
+                q.push_lru(n)
+                model.append(n)
+            elif op == "pop_lru" and model:
+                assert q.pop_lru() is model.pop()
+            elif op == "pop_mru" and model:
+                assert q.pop_mru() is model.pop(0)
+            elif op == "move_mru" and model:
+                n = model.pop(size % len(model))
+                q.move_to_mru(n)
+                model.insert(0, n)
+            elif op == "move_lru" and model:
+                n = model.pop(size % len(model))
+                q.move_to_lru(n)
+                model.append(n)
+            elif op == "promote" and model:
+                i = size % len(model)
+                n = model[i]
+                q.promote_one(n)
+                if i > 0:
+                    model[i - 1], model[i] = model[i], model[i - 1]
+            q.check_invariants()
+            assert q.keys() == [n.key for n in model]
+            assert q.bytes == sum(n.size for n in model)

@@ -1,0 +1,85 @@
+"""QueueCache hook contract: the template must call hooks exactly when the
+documentation says, with consistent state at each call."""
+
+from __future__ import annotations
+
+from repro.cache.base import LRU_POS, MRU_POS, QueueCache
+from repro.cache.queue import Node
+from repro.sim.request import Request
+
+
+class Recorder(QueueCache):
+    """Instrumented policy that logs every hook invocation."""
+
+    name = "recorder"
+
+    def __init__(self, capacity, insert_pos=MRU_POS):
+        super().__init__(capacity)
+        self.log = []
+        self._pos = insert_pos
+
+    def _insert_position(self, req):
+        self.log.append(("pos", req.key))
+        return self._pos
+
+    def _on_insert(self, node, req):
+        self.log.append(("insert", node.key, node.inserted_mru))
+
+    def _on_hit(self, node, req):
+        self.log.append(("hit", node.key))
+        super()._on_hit(node, req)
+
+    def _on_evict(self, node):
+        self.log.append(("evict", node.key, bool(node.hit_token)))
+
+
+class TestHookProtocol:
+    def test_miss_calls_pos_then_insert(self):
+        p = Recorder(100)
+        p.request(Request(0, 1, 10))
+        assert p.log == [("pos", 1), ("insert", 1, True)]
+
+    def test_lru_pos_marks_node(self):
+        p = Recorder(100, insert_pos=LRU_POS)
+        p.request(Request(0, 1, 10))
+        assert p.log[-1] == ("insert", 1, False)
+
+    def test_hit_calls_only_on_hit(self):
+        p = Recorder(100)
+        p.request(Request(0, 1, 10))
+        p.log.clear()
+        p.request(Request(1, 1, 10))
+        assert p.log == [("hit", 1)]
+
+    def test_eviction_fires_before_insert_hook(self):
+        p = Recorder(25)
+        p.request(Request(0, 1, 10))
+        p.request(Request(1, 2, 10))
+        p.log.clear()
+        p.request(Request(2, 3, 10))  # evicts 1 first, then inserts 3
+        assert p.log[0] == ("pos", 3) or p.log[0][0] == "evict"
+        evict_idx = next(i for i, e in enumerate(p.log) if e[0] == "evict")
+        insert_idx = next(i for i, e in enumerate(p.log) if e[0] == "insert")
+        assert evict_idx < insert_idx
+
+    def test_evict_sees_hit_token(self):
+        p = Recorder(25)
+        p.request(Request(0, 1, 10))
+        p.request(Request(1, 1, 10))  # hit → token set
+        p.request(Request(2, 2, 10))
+        p.request(Request(3, 3, 10))  # evicts 1
+        evicts = [e for e in p.log if e[0] == "evict"]
+        assert evicts == [("evict", 1, True)]
+
+    def test_remove_does_not_fire_evict_hook(self):
+        p = Recorder(100)
+        p.request(Request(0, 1, 10))
+        p.log.clear()
+        p.remove(1)
+        assert p.log == []
+
+    def test_bypass_fires_no_hooks(self):
+        p = Recorder(100)
+        p.log.clear()
+        p.request(Request(0, 9, 500))
+        assert p.log == []

@@ -1,0 +1,129 @@
+"""Differential testing against executable reference models.
+
+Each production policy is replayed side-by-side with a brutally simple
+reference implementation (plain lists/dicts, O(n) everywhere); hypothesis
+drives arbitrary request streams and the *entire observable behaviour*
+(hit/miss sequence, final resident set) must match exactly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.fifo import FIFOCache
+from repro.cache.lip import LIPCache
+from repro.cache.lru import LRUCache
+from repro.sim.request import Request
+
+streams = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(1, 300)), min_size=1, max_size=400
+)
+
+
+class RefLRU:
+    """Reference LRU: OrderedDict, O(n) accounting."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.od: OrderedDict = OrderedDict()
+
+    def request(self, key: int, size: int) -> bool:
+        if key in self.od:
+            self.od[key] = size
+            self.od.move_to_end(key)
+            # A grown object may overflow the cache — even itself leaves.
+            while sum(self.od.values()) > self.capacity and self.od:
+                self.od.popitem(last=False)
+            return True
+        if size > self.capacity:
+            return False
+        while sum(self.od.values()) + size > self.capacity and self.od:
+            self.od.popitem(last=False)
+        self.od[key] = size
+        return False
+
+
+class RefFIFO:
+    """Reference FIFO: insertion order only, hits don't reorder."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.od: OrderedDict = OrderedDict()
+
+    def request(self, key: int, size: int) -> bool:
+        if key in self.od:
+            self.od[key] = size  # size refresh, no reorder
+            while sum(self.od.values()) > self.capacity and self.od:
+                self.od.popitem(last=False)
+            return True
+        if size > self.capacity:
+            return False
+        while sum(self.od.values()) + size > self.capacity and self.od:
+            self.od.popitem(last=False)
+        self.od[key] = size
+        return False
+
+
+class RefLIP:
+    """Reference LIP: misses append at the cold end, hits move to the hot
+    end; victims leave from the cold end."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.order: list = []  # index 0 = next victim (LRU end)
+        self.sizes: dict = {}
+
+    def _evict(self) -> None:
+        victim = self.order.pop(0)
+        del self.sizes[victim]
+
+    def request(self, key: int, size: int) -> bool:
+        if key in self.sizes:
+            self.sizes[key] = size
+            self.order.remove(key)
+            self.order.append(key)  # promote to MRU
+            while sum(self.sizes.values()) > self.capacity and self.order:
+                self._evict()
+            return True
+        if size > self.capacity:
+            return False
+        while sum(self.sizes.values()) + size > self.capacity and self.order:
+            self._evict()
+        self.order.insert(0, key)  # LRU-position insertion
+        self.sizes[key] = size
+        return False
+
+
+@settings(max_examples=120, deadline=None)
+@given(streams, st.integers(100, 2_000))
+def test_lru_matches_reference(data, capacity):
+    real = LRUCache(capacity)
+    ref = RefLRU(capacity)
+    for i, (k, s) in enumerate(data):
+        assert real.request(Request(i, k, s)) == ref.request(k, s), (i, k, s)
+    assert set(real.resident_keys()) == set(ref.od)
+
+
+@settings(max_examples=120, deadline=None)
+@given(streams, st.integers(100, 2_000))
+def test_fifo_matches_reference(data, capacity):
+    real = FIFOCache(capacity)
+    ref = RefFIFO(capacity)
+    for i, (k, s) in enumerate(data):
+        assert real.request(Request(i, k, s)) == ref.request(k, s), (i, k, s)
+    assert set(real.resident_keys()) == set(ref.od)
+
+
+@settings(max_examples=120, deadline=None)
+@given(streams, st.integers(100, 2_000))
+def test_lip_matches_reference(data, capacity):
+    real = LIPCache(capacity)
+    ref = RefLIP(capacity)
+    for i, (k, s) in enumerate(data):
+        assert real.request(Request(i, k, s)) == ref.request(k, s), (i, k, s)
+    assert set(real.resident_keys()) == set(ref.sizes)
+    # Order must match too: reference order is LRU→MRU.
+    assert real.resident_keys() == list(reversed(ref.order))

@@ -1,0 +1,80 @@
+"""SIEVE differential test against a list-based reference."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.sieve import SieveCache
+from repro.sim.request import Request
+
+streams = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(1, 80)), min_size=1, max_size=220
+)
+
+
+class RefSieve:
+    """Reference SIEVE: list ordered old→new, visited dict, index hand.
+
+    The hand points at the next eviction candidate (an index from the old
+    end); it survives evictions and resets to the oldest entry when it
+    falls off the end — mirroring the published algorithm.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.order: list = []  # index 0 = oldest
+        self.visited: dict = {}
+        self.sizes: dict = {}
+        self.hand_key = None  # key the hand points at (None = start at tail)
+
+    def _used(self) -> int:
+        return sum(self.sizes.values())
+
+    def _evict_one(self) -> None:
+        # The hand starts at its stored position (or the oldest entry) and
+        # sweeps toward newer entries, wrapping back to the oldest.
+        idx = (
+            self.order.index(self.hand_key)
+            if self.hand_key in self.sizes
+            else 0
+        )
+        while self.visited[self.order[idx]]:
+            self.visited[self.order[idx]] = False
+            idx += 1
+            if idx >= len(self.order):
+                idx = 0
+        victim = self.order.pop(idx)
+        del self.visited[victim]
+        del self.sizes[victim]
+        # After the pop, index idx holds the victim's next-newer neighbour
+        # (None if the victim was the newest entry).
+        self.hand_key = self.order[idx] if idx < len(self.order) else None
+
+    def request(self, key: int, size: int) -> bool:
+        if key in self.sizes:
+            self.visited[key] = True
+            self.sizes[key] = size
+            while self._used() > self.capacity and len(self.order) > 1:
+                self._evict_one()
+            return True
+        if size > self.capacity:
+            return False
+        while self._used() + size > self.capacity and self.order:
+            self._evict_one()
+        self.order.append(key)
+        self.visited[key] = False
+        self.sizes[key] = size
+        return False
+
+
+@settings(max_examples=100, deadline=None)
+@given(streams, st.integers(100, 1_200))
+def test_sieve_matches_reference(data, capacity):
+    real = SieveCache(capacity)
+    ref = RefSieve(capacity)
+    for i, (k, s) in enumerate(data):
+        r = real.request(Request(i, k, s))
+        e = ref.request(k, s)
+        assert r == e, (i, k, s, real.queue.keys(), ref.order)
+    assert set(real.index) == set(ref.sizes)

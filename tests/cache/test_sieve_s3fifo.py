@@ -1,0 +1,98 @@
+"""SIEVE and S3-FIFO (post-paper extension policies)."""
+
+from __future__ import annotations
+
+from repro.cache.lru import LRUCache
+from repro.cache.sieve import S3FIFOCache, SieveCache
+from repro.sim.request import Request
+
+
+def feed(p, keys, size=10, t0=0):
+    for i, k in enumerate(keys):
+        p.request(Request(t0 + i, k, size))
+
+
+class TestSieve:
+    def test_visited_objects_spared_in_place(self):
+        c = SieveCache(30)
+        feed(c, [1, 2, 3])
+        c.request(Request(3, 1, 10))  # mark 1 visited
+        c.request(Request(4, 4, 10))  # hand: 1 spared (bit cleared), 2 evicted
+        assert c.contains(1)
+        assert not c.contains(2)
+
+    def test_one_hit_wonders_evicted_first(self):
+        c = SieveCache(40)
+        feed(c, [1, 2, 3, 4])
+        for k in (1, 3):
+            c.request(Request(10 + k, k, 10))
+        c.request(Request(20, 5, 10))  # evicts 2 (oldest unvisited)
+        assert not c.contains(2)
+        assert c.contains(1) and c.contains(3)
+
+    def test_hand_position_persists(self):
+        c = SieveCache(30)
+        feed(c, [1, 2, 3])
+        for k in (1, 2, 3):
+            c.request(Request(10 + k, k, 10))  # all visited
+        c.request(Request(20, 4, 10))  # sweep clears bits, evicts one
+        # A second eviction must not restart the sweep from scratch —
+        # no infinite loop, correct eviction.
+        c.request(Request(21, 5, 10))
+        assert len(c) == 3
+        assert c.used <= c.capacity
+
+    def test_capacity_on_workload(self, zipf_trace):
+        c = SieveCache(20_000)
+        for r in zipf_trace:
+            c.request(r)
+            assert c.used <= c.capacity
+        assert 0 < c.stats.miss_ratio < 1
+
+    def test_competitive_with_lru_on_churn(self, cdn_t_small):
+        cap = int(cdn_t_small.working_set_size * 0.02)
+        sieve, lru = SieveCache(cap), LRUCache(cap)
+        for r in cdn_t_small:
+            sieve.request(r)
+            lru.request(r)
+        # SIEVE's pitch is one-hit-wonder resistance; on our periodic-core
+        # synthetic it must at least stay level with LRU (it wins on the
+        # classic web traces its paper evaluates).
+        assert sieve.stats.miss_ratio <= lru.stats.miss_ratio + 0.02
+
+
+class TestS3FIFO:
+    def test_new_objects_probation_first(self):
+        c = S3FIFOCache(1_000)
+        feed(c, [1])
+        assert c._where[1][1] == "small"
+
+    def test_ghost_comeback_enters_main(self):
+        c = S3FIFOCache(200, small_frac=0.1)  # small queue: 20 B = 2 objs
+        feed(c, range(30))  # churn floods probation → ghosts
+        ghost = c.ghost.keys()[0]
+        c.request(Request(100, ghost, 10))
+        assert c._where[ghost][1] == "main"
+
+    def test_probation_reuse_promotes(self):
+        c = S3FIFOCache(100, small_frac=0.5)
+        feed(c, [1, 2])
+        c.request(Request(2, 1, 10))  # reuse on probation
+        feed(c, range(10, 19), t0=10)  # pressure forces small-queue drain
+        # 1 must have been moved to main at some drain, not ghosted.
+        if c.contains(1):
+            assert c._where[1][1] == "main"
+
+    def test_capacity_on_workload(self, zipf_trace):
+        c = S3FIFOCache(20_000)
+        for r in zipf_trace:
+            c.request(r)
+            assert c.used <= c.capacity
+
+    def test_beats_lru_on_churn(self, cdn_a_small):
+        cap = int(cdn_a_small.working_set_size * 0.014)
+        s3, lru = S3FIFOCache(cap), LRUCache(cap)
+        for r in cdn_a_small:
+            s3.request(r)
+            lru.request(r)
+        assert s3.stats.miss_ratio < lru.stats.miss_ratio + 0.01

@@ -1,0 +1,84 @@
+"""Shared fixtures: small deterministic traces and request builders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.request import Request, Trace, annotate_next_access
+
+
+def make_requests(pairs, start_time=0):
+    """Build requests from (key, size) pairs with sequential times."""
+    return [Request(start_time + i, k, s) for i, (k, s) in enumerate(pairs)]
+
+
+@pytest.fixture
+def tiny_trace():
+    """A hand-checkable 10-request trace over 4 keys (unit sizes vary)."""
+    pairs = [
+        (1, 10),
+        (2, 10),
+        (3, 10),
+        (1, 10),
+        (4, 10),
+        (2, 10),
+        (1, 10),
+        (5, 10),
+        (3, 10),
+        (1, 10),
+    ]
+    return Trace(make_requests(pairs), name="tiny")
+
+
+@pytest.fixture
+def zipf_trace():
+    """A 5 000-request skewed random trace, seeded."""
+    rng = random.Random(7)
+    reqs = []
+    for i in range(5_000):
+        # Crude Zipf-ish: low keys much hotter.
+        key = min(int(rng.paretovariate(1.2)), 400)
+        size = rng.randint(1, 2_000)
+        reqs.append(Request(i, key, size))
+    return Trace(reqs, name="zipfish")
+
+
+@pytest.fixture
+def scan_trace():
+    """A loop-scan trace (sequential sweep repeated) — LRU's worst case."""
+    reqs = []
+    t = 0
+    for _ in range(6):
+        for key in range(120):
+            reqs.append(Request(t, key, 100))
+            t += 1
+    return Trace(reqs, name="scan")
+
+
+@pytest.fixture
+def annotated_zipf(zipf_trace):
+    return annotate_next_access(zipf_trace)
+
+
+@pytest.fixture(scope="session")
+def cdn_t_small():
+    """A session-cached small CDN-T workload (generation is ~100 ms)."""
+    from repro.traces.cdn import make_workload
+
+    return make_workload("CDN-T", n_requests=20_000)
+
+
+@pytest.fixture(scope="session")
+def cdn_w_small():
+    from repro.traces.cdn import make_workload
+
+    return make_workload("CDN-W", n_requests=20_000)
+
+
+@pytest.fixture(scope="session")
+def cdn_a_small():
+    from repro.traces.cdn import make_workload
+
+    return make_workload("CDN-A", n_requests=20_000)

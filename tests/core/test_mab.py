@@ -1,0 +1,83 @@
+"""PositionBandit (two-expert MAB) unit tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.base import LRU_POS, MRU_POS
+from repro.core.mab import PositionBandit
+
+
+class TestWeights:
+    def test_initial_normalised(self):
+        b = PositionBandit(initial_w_mru=0.9)
+        assert b.w_mru + b.w_lru == pytest.approx(1.0)
+
+    def test_penalize_mru_decreases_w_mru(self):
+        b = PositionBandit(initial_w_mru=0.5)
+        b.penalize_mru(0.5)
+        assert b.w_mru < 0.5
+        assert b.w_mru + b.w_lru == pytest.approx(1.0)
+
+    def test_penalize_lru_increases_w_mru(self):
+        b = PositionBandit(initial_w_mru=0.5)
+        b.penalize_lru(0.5)
+        assert b.w_mru > 0.5
+
+    def test_floor_keeps_both_alive(self):
+        b = PositionBandit(initial_w_mru=0.5)
+        for _ in range(200):
+            b.penalize_mru(1.0)
+        assert b.w_mru >= 0.01
+        # And it can recover.
+        for _ in range(200):
+            b.penalize_lru(1.0)
+        assert b.w_mru > 0.5
+
+    def test_penalty_counters(self):
+        b = PositionBandit()
+        b.penalize_mru(0.1)
+        b.penalize_lru(0.1)
+        assert b.penalties_mru == 1 and b.penalties_lru == 1
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            PositionBandit(initial_w_mru=0.0)
+        with pytest.raises(ValueError):
+            PositionBandit(initial_w_mru=1.0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            PositionBandit(mode="coin-flip")
+
+
+class TestSelect:
+    def test_threshold_mode_deterministic(self):
+        b = PositionBandit(initial_w_mru=0.9, mode="threshold")
+        assert all(b.select() == MRU_POS for _ in range(20))
+        b.w_mru, b.w_lru = 0.3, 0.7
+        assert all(b.select() == LRU_POS for _ in range(20))
+
+    def test_bernoulli_mode_frequency(self):
+        b = PositionBandit(initial_w_mru=0.7, rng=random.Random(0), mode="bernoulli")
+        picks = [b.select() for _ in range(5_000)]
+        frac_mru = sum(p == MRU_POS for p in picks) / len(picks)
+        assert 0.65 < frac_mru < 0.75
+
+    def test_promotion_threshold_asymmetric(self):
+        b = PositionBandit(initial_w_mru=0.3, mode="threshold")
+        # Insertion at w=0.3 goes LRU, but promotion (threshold 0.2) stays MRU.
+        assert b.select() == LRU_POS
+        assert b.select_promotion(0.2) == MRU_POS
+        b.w_mru = 0.1
+        assert b.select_promotion(0.2) == LRU_POS
+
+    def test_promotion_threshold_zero_never_demotes(self):
+        b = PositionBandit(initial_w_mru=0.011, mode="threshold")
+        assert b.select_promotion(0.0) == MRU_POS
+
+    def test_promotion_bernoulli_rescaled(self):
+        b = PositionBandit(initial_w_mru=0.9, rng=random.Random(1), mode="bernoulli")
+        assert all(b.select_promotion(0.2) == MRU_POS for _ in range(50))

@@ -1,0 +1,234 @@
+"""SCIP state-machine unit tests (Algorithm 1 + the per-object layer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.base import LRU_POS, MRU_POS
+from repro.core.scip import DEMOTED, DENIED, NORMAL, SUSPECT, SCIPCache
+from repro.sim.request import Request
+
+
+def scip(capacity=1_000, **kw):
+    kw.setdefault("update_interval", 10**9)  # freeze λ updates in unit tests
+    return SCIPCache(capacity, **kw)
+
+
+def feed(p, keys, size=10, t0=0):
+    for i, k in enumerate(keys):
+        p.request(Request(t0 + i, k, size))
+
+
+class TestBasicFlow:
+    def test_fresh_miss_inserts_mru_with_high_w(self):
+        p = scip()
+        p.request(Request(0, 1, 10))
+        assert p.index[1].inserted_mru is True
+
+    def test_eviction_routes_by_insert_pos(self):
+        p = scip(capacity=30)
+        feed(p, [1, 2, 3, 4])  # all MRU inserts; 1 evicted
+        assert 1 in p.h_m
+        assert 1 not in p.h_l
+
+    def test_ghost_hit_deletes_entry(self):
+        p = scip(capacity=30)
+        feed(p, [1, 2, 3, 4])  # 1 evicted into H_m
+        p.request(Request(10, 1, 10))
+        assert 1 not in p.h_m
+
+    def test_promotion_is_remove_then_insert(self):
+        p = scip(capacity=100)
+        feed(p, [1, 2, 3])
+        p.request(Request(3, 1, 10))
+        # Hit on 1 with high w → re-inserted at MRU, no history record.
+        assert p.queue.head.key == 1
+        assert 1 not in p.h_m and 1 not in p.h_l
+
+    def test_history_budget_fraction(self):
+        p = SCIPCache(1_000, history_fraction=0.5)
+        assert p.h_m.capacity == 500
+        assert p.h_l.capacity == 500
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SCIPCache(100, history_fraction=-1)
+        with pytest.raises(ValueError):
+            SCIPCache(100, update_interval=0)
+        with pytest.raises(ValueError):
+            SCIPCache(100, escape=1.5)
+
+
+class TestZRODenial:
+    def _one_zro_cycle(self, p, key, t0):
+        """Insert key, flood it out unused, then return it much later."""
+        p.request(Request(t0, key, 10))
+        feed(p, range(900, 905), t0=t0 + 1)  # flood the 50-byte cache
+        # Long gap: advance the clock with hot traffic.
+        for i in range(int(p._tenure_ewma * p.deny_gap_factor) + 50):
+            p.request(Request(t0 + 10 + i, 800, 10))
+
+    def test_recurring_zro_denied(self):
+        p = scip(capacity=50, escape=0.0)
+        self._one_zro_cycle(p, key=7, t0=0)
+        clock0 = p.clock
+        before = p.zro_denials
+        p.request(Request(clock0 + 1, 7, 10))  # the return: ghost hit in H_m
+        assert p.zro_denials == before + 1
+        assert p.index[7].inserted_mru is False
+        assert p.index[7].data & DENIED
+
+    def test_denied_eviction_goes_to_h_l_with_flag(self):
+        p = scip(capacity=50, escape=0.0)
+        self._one_zro_cycle(p, key=7, t0=0)
+        p.request(Request(p.clock + 1, 7, 10))  # denied insert at tail
+        p.request(Request(p.clock + 1, 801, 10))  # evicts the tail (7)
+        entry = p.h_l.pop(7)
+        assert entry is not None
+        assert entry[2] == DENIED
+
+    def test_quick_return_is_not_denied(self):
+        """An H_m ghost that comes back within a cache lifetime gets MRU."""
+        p = scip(capacity=50, escape=0.0)
+        p._tenure_ewma = 10_000  # huge lifetime: every gap is 'short'
+        p.request(Request(0, 7, 10))
+        feed(p, range(900, 905), t0=1)  # 7 evicted unused → H_m
+        p.request(Request(20, 7, 10))
+        assert p.index[7].inserted_mru is True
+        assert p.zro_denials == 0
+
+    def test_escape_gives_reconciliation_tenure(self):
+        p = scip(capacity=50, escape=1.0)  # always escape
+        self._one_zro_cycle(p, key=7, t0=0)
+        p.request(Request(p.clock + 1, 7, 10))
+        assert p.index[7].inserted_mru is True  # escaped to MRU
+        assert p.zro_denials == 0
+
+
+class TestPZROSuspicion:
+    def _pzro_cycle(self, p, key, t0):
+        """Insert, hit once, flood out, long gap — the P-ZRO signature."""
+        p.request(Request(t0, key, 10))
+        p.request(Request(t0 + 1, key, 10))  # the single hit
+        feed(p, range(900, 905), t0=t0 + 2)  # flush
+        for i in range(int(p._tenure_ewma * p.deny_gap_factor) + 50):
+            p.request(Request(t0 + 10 + i, 800, 10))
+
+    def test_single_hit_episode_arms_suspicion(self):
+        p = scip(capacity=50, escape=0.0)
+        self._pzro_cycle(p, key=7, t0=0)
+        p.request(Request(p.clock + 1, 7, 10))  # return: H_m ghost, hits==1
+        assert p.index[7].inserted_mru is True  # MRU (it earns its hit)
+        assert p.index[7].data & SUSPECT
+
+    def test_suspect_hit_is_demoted(self):
+        p = scip(capacity=50, escape=0.0)
+        self._pzro_cycle(p, key=7, t0=0)
+        p.request(Request(p.clock + 1, 7, 10))  # return, suspect armed
+        before = p.pzro_demotions
+        p.request(Request(p.clock + 1, 7, 10))  # the hit → demote
+        assert p.pzro_demotions == before + 1
+        assert p.queue.tail.key == 7
+        assert p.index[7].data == DEMOTED
+
+    def test_multi_hit_episode_not_suspected(self):
+        p = scip(capacity=50, escape=0.0)
+        p.request(Request(0, 7, 10))
+        p.request(Request(1, 7, 10))
+        p.request(Request(2, 7, 10))  # two hits this tenure
+        feed(p, range(900, 905), t0=3)
+        for i in range(int(p._tenure_ewma * p.deny_gap_factor) + 50):
+            p.request(Request(10 + i, 800, 10))
+        p.request(Request(p.clock + 1, 7, 10))
+        assert p.index[7].inserted_mru is True
+        assert not (p.index[7].data or 0) & SUSPECT
+
+    def test_disproved_suspicion_lowers_confidence(self):
+        p = scip(capacity=50, escape=0.0)
+        self._pzro_cycle(p, key=7, t0=0)
+        p.request(Request(p.clock + 1, 7, 10))  # suspect armed
+        p.request(Request(p.clock + 1, 7, 10))  # demoted on hit
+        # Re-hit while at the tail: suspicion disproved in place.
+        p.request(Request(p.clock + 1, 7, 10))
+        assert p._pzro_conf.get(7, 0) < 0
+
+    def test_negative_confidence_blocks_arming(self):
+        p = scip(capacity=50, escape=0.0)
+        p._pzro_conf[7] = -2
+        self._pzro_cycle(p, key=7, t0=0)
+        p.request(Request(p.clock + 1, 7, 10))
+        assert not (p.index[7].data or 0) & SUSPECT
+
+
+class TestWeightsAndLR:
+    def test_ghost_hits_update_weights(self):
+        p = scip(capacity=50, escape=0.0)
+        w0 = p.w_mru
+        # Recurring-ZRO cycle penalises the MRU expert.
+        p.request(Request(0, 7, 10))
+        feed(p, range(900, 905), t0=1)
+        for i in range(int(p._tenure_ewma * p.deny_gap_factor) + 50):
+            p.request(Request(10 + i, 800, 10))
+        p.request(Request(p.clock + 1, 7, 10))
+        assert p.w_mru < w0
+
+    def test_lambda_updates_on_interval(self, cdn_t_small):
+        p = SCIPCache(int(cdn_t_small.working_set_size * 0.02), update_interval=500)
+        for r in cdn_t_small:
+            p.request(r)
+        assert p.lr.updates >= len(cdn_t_small) // 500 - 1
+
+    def test_weights_always_normalised(self, cdn_t_small):
+        p = SCIPCache(int(cdn_t_small.working_set_size * 0.02))
+        for i, r in enumerate(cdn_t_small):
+            p.request(r)
+            if i % 1000 == 0:
+                assert abs(p.bandit.w_mru + p.bandit.w_lru - 1.0) < 1e-9
+
+    def test_metadata_accounting(self):
+        p = scip(capacity=1_000)
+        feed(p, range(20))
+        assert p.metadata_bytes() >= 110 * len(p)
+
+    def test_invariants_on_cdn_trace(self, cdn_t_small):
+        p = SCIPCache(int(cdn_t_small.working_set_size * 0.02))
+        for i, r in enumerate(cdn_t_small):
+            p.request(r)
+            if i % 2_000 == 0:
+                p.check_invariants()
+
+
+class TestInterpretationAblations:
+    def test_literal_algorithm1_runs(self, cdn_t_small):
+        p = SCIPCache(int(cdn_t_small.working_set_size * 0.02), per_object=False)
+        for r in cdn_t_small:
+            p.request(r)
+        # The per-object layer is off: no denials or demotions can occur.
+        assert p.zro_denials == 0
+        assert p.pzro_demotions == 0
+        assert 0 < p.stats.miss_ratio < 1
+
+    def test_literal_weights_still_move(self, cdn_t_small):
+        p = SCIPCache(int(cdn_t_small.working_set_size * 0.02), per_object=False)
+        for r in cdn_t_small:
+            p.request(r)
+        assert p.bandit.penalties_mru + p.bandit.penalties_lru > 0
+
+    def test_token_blind_denies_more(self, cdn_t_small):
+        cap = int(cdn_t_small.working_set_size * 0.02)
+        full = SCIPCache(cap)
+        blind = SCIPCache(cap, use_hit_token=False)
+        for r in cdn_t_small:
+            full.request(r)
+            blind.request(r)
+        assert blind.pzro_demotions == 0, "token-blind has no suspicion channel"
+        assert blind.zro_denials >= full.zro_denials
+
+    def test_full_beats_literal_on_sweep_traffic(self, cdn_t_small):
+        cap = int(cdn_t_small.working_set_size * 0.02)
+        full = SCIPCache(cap)
+        literal = SCIPCache(cap, per_object=False)
+        for r in cdn_t_small:
+            full.request(r)
+            literal.request(r)
+        assert full.stats.miss_ratio <= literal.stats.miss_ratio + 0.01

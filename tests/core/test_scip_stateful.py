@@ -1,0 +1,93 @@
+"""Stateful property testing of SCIP via a hypothesis rule machine.
+
+The machine issues arbitrary interleavings of requests (hot keys, fresh
+keys, ghosts re-requested from the history lists) and checks the global
+invariants after every step: byte accounting, queue/index coherence,
+history budgets, weight normalisation, and the "resident xor ghost"
+exclusion (an object the cache reports resident must not simultaneously be
+in a history list).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.scip import SCIPCache
+from repro.sim.request import Request
+
+
+class SCIPMachine(RuleBasedStateMachine):
+    @initialize(
+        capacity=st.integers(200, 3_000),
+        history_fraction=st.sampled_from([0.5, 2.0, 16.0]),
+        escape=st.sampled_from([0.0, 0.125, 1.0]),
+    )
+    def setup(self, capacity, history_fraction, escape):
+        self.scip = SCIPCache(
+            capacity,
+            history_fraction=history_fraction,
+            escape=escape,
+            update_interval=64,
+            seed=7,
+        )
+        self.t = 0
+        self.shadow = set()  # keys believed resident (mirrors hits/misses)
+
+    def _req(self, key: int, size: int) -> None:
+        hit = self.scip.request(Request(self.t, key, size))
+        self.t += 1
+        if hit:
+            assert key in self.shadow, "hit on a key the shadow saw evicted"
+        if size <= self.scip.capacity:
+            self.shadow.add(key)
+        # Reconcile: drop shadow keys no longer resident.
+        self.shadow = {k for k in self.shadow if self.scip.contains(k)}
+
+    @rule(key=st.integers(0, 5), size=st.integers(1, 200))
+    def hot_request(self, key, size):
+        self._req(key, size)
+
+    @rule(size=st.integers(1, 400))
+    def fresh_request(self, size):
+        self._req(10_000 + self.t, size)
+
+    @rule(which=st.sampled_from(["h_m", "h_l"]), size=st.integers(1, 200))
+    def ghost_comeback(self, which, size):
+        ghosts = getattr(self.scip, which).keys()
+        if ghosts:
+            self._req(ghosts[0], size)
+
+    @rule(size=st.integers(1, 100))
+    def giant_then_small(self, size):
+        self._req(77_777, self.scip.capacity + 1)  # bypassed
+        self._req(88_000 + self.t, size)
+
+    @invariant()
+    def structures_coherent(self):
+        if not hasattr(self, "scip"):
+            return
+        self.scip.check_invariants()
+
+    @invariant()
+    def resident_not_ghost(self):
+        if not hasattr(self, "scip"):
+            return
+        for key in list(self.scip.index):
+            assert key not in self.scip.h_m, f"{key} resident AND in H_m"
+            assert key not in self.scip.h_l, f"{key} resident AND in H_l"
+
+    @invariant()
+    def weights_normalised(self):
+        if not hasattr(self, "scip"):
+            return
+        b = self.scip.bandit
+        assert abs(b.w_mru + b.w_lru - 1.0) < 1e-9
+        assert 0.0 < b.w_mru < 1.0
+
+
+SCIPMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+TestSCIPStateMachine = SCIPMachine.TestCase

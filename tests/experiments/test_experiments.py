@@ -1,0 +1,170 @@
+"""Smoke + shape tests for every experiment module at the smoke scale.
+
+These assert the *relational* claims each figure makes (who wins, in which
+direction), not absolute numbers — the reproduction contract of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments as E
+
+
+@pytest.fixture(scope="module")
+def fig8_rows():
+    return E.fig8_insertion.run(scale="smoke", sizes_gb=(64,))
+
+
+@pytest.fixture(scope="module")
+def fig10_rows():
+    return E.fig10_replacement.run(scale="smoke", workloads=("CDN-T",))
+
+
+def by(rows, **kv):
+    out = [r for r in rows if all(r.get(k) == v for k, v in kv.items())]
+    assert out, f"no rows match {kv}"
+    return out
+
+
+class TestTable1:
+    def test_rows_and_ordering(self):
+        rows = E.table1_workloads.run(scale="smoke")
+        assert len(rows) == 3
+        ratio = {r["workload"]: r["req_per_obj"] for r in rows}
+        assert ratio["CDN-W"] > ratio["CDN-T"] > ratio["CDN-A"]
+
+
+class TestFig1:
+    def test_shapes(self):
+        rows = E.fig1_zro.run(scale="smoke", fractions=(0.01, 0.05))
+        for r in rows:
+            assert 0 <= r["zro_share_of_misses"] <= 1
+            assert r["miss_ratio_treat_both"] <= r["miss_ratio_lru"] + 1e-9
+        # Sanity band only at this scale — the cross-workload miss-ratio
+        # ordering of Figure 1(b) needs full-length traces (CDN-W's reuse
+        # builds up over ~10× more requests) and is asserted by the bench.
+        for r in rows:
+            assert 0.2 < r["miss_ratio_lru"] < 1.0
+
+
+class TestFig3:
+    def test_monotone_and_ordering(self):
+        rows = E.fig3_theoretical.run(scale="smoke", fractions=(0.5, 1.0))
+        for r in rows:
+            assert r["mr_treat_zro"] <= r["mr_lru"] + 1e-9
+        full = [r for r in rows if r["treated_fraction"] == 1.0]
+        for r in full:
+            assert r["mr_treat_zro"] <= r["mr_treat_pzro"] + 1e-9
+            assert r["mr_treat_both"] <= r["mr_treat_zro"] + 1e-9
+
+
+class TestFig4:
+    def test_mab_best_on_combined(self):
+        rows = E.fig4_models.run(scale="smoke")
+        models = ["LinReg", "LogReg", "SVM", "NN", "GBM", "MAB"]
+        both = [r for r in rows if r["task"] == "both"]
+        wins = sum(r["MAB"] >= max(r[m] for m in models) - 1e-9 for r in both)
+        assert wins >= 2, "MAB must lead the combined task on most workloads"
+
+    def test_zro_easier_than_pzro_on_average(self):
+        rows = E.fig4_models.run(scale="smoke")
+        models = ["LinReg", "LogReg", "NN", "GBM"]
+        easier = 0
+        for wl in ("CDN-T", "CDN-W", "CDN-A"):
+            z = by(rows, workload=wl, task="zro")[0]
+            p = by(rows, workload=wl, task="pzro")[0]
+            mean_z = sum(z[m] for m in models) / len(models)
+            mean_p = sum(p[m] for m in models) / len(models)
+            easier += mean_z > mean_p - 0.05
+        # All three at bench scale; at 20 k requests allow one inversion.
+        assert easier >= 2
+
+
+class TestFig6:
+    def test_deployment_improves(self):
+        out = E.fig6_tdc.run(scale="smoke")
+        assert out["bto_ratio_delta"] < 0
+        assert out["bto_gbps_rel_change"] < 0
+        assert out["latency_rel_change"] < 0
+
+
+class TestFig7:
+    def test_runs_and_reports_gap(self):
+        rows = E.fig7_scip_vs_sci.run(scale="smoke")
+        assert len(rows) == 3
+        for r in rows:
+            assert 0 < r["scip_miss_ratio"] < 1
+            assert "gap" in r
+
+
+class TestFig8:
+    def test_belady_is_floor(self, fig8_rows):
+        for wl in ("CDN-T", "CDN-W", "CDN-A"):
+            rows = by(fig8_rows, trace=wl)
+            belady = by(rows, policy="Belady")[0]["miss_ratio"]
+            for r in rows:
+                assert belady <= r["miss_ratio"] + 1e-9
+
+    def test_scip_beats_lip(self, fig8_rows):
+        for wl in ("CDN-T", "CDN-W", "CDN-A"):
+            scip = by(fig8_rows, trace=wl, policy="SCIP")[0]["miss_ratio"]
+            lip = by(fig8_rows, trace=wl, policy="LIP")[0]["miss_ratio"]
+            assert scip < lip
+
+    def test_scip_near_the_top_everywhere(self, fig8_rows):
+        """At smoke scale (20 k requests — inside SCIP's learning window,
+        and shorter than CDN-W's sweep period) SCIP must already rank in
+        the top half of the nine online policies on every workload and
+        within 2 points of the runner-up; the benches assert outright
+        leadership at full scale."""
+        for wl in ("CDN-T", "CDN-W", "CDN-A"):
+            rows = [r for r in by(fig8_rows, trace=wl) if r["policy"] != "Belady"]
+            ranked = sorted(rows, key=lambda r: r["miss_ratio"])
+            names = [r["policy"] for r in ranked]
+            assert names.index("SCIP") < len(names) // 2, (wl, names)
+            assert ranked[names.index("SCIP")]["miss_ratio"] <= ranked[1]["miss_ratio"] + 0.02
+
+
+class TestFig10:
+    def test_scip_competitive(self, fig10_rows):
+        rows = [r for r in fig10_rows if r["policy"] != "Belady"]
+        best = min(r["miss_ratio"] for r in rows)
+        scip = by(fig10_rows, policy="SCIP")[0]["miss_ratio"]
+        # Smoke-scale tolerance; benches assert the strict Figure 10 shape.
+        assert scip <= best + 0.06
+
+    def test_all_policies_present(self, fig10_rows):
+        assert len({r["policy"] for r in fig10_rows}) == 11
+
+
+class TestResources:
+    def test_fig9_profiles(self):
+        rows = E.fig9_resources_ins.run(scale="smoke")
+        assert len(rows) == 9
+        for r in rows:
+            assert r["tps"] > 0 and r["metadata_bytes"] > 0
+
+    def test_fig11_learned_cost_more_cpu_than_lru(self):
+        rows = E.fig11_resources_repl.run(scale="smoke")
+        cpu = {r["policy"]: r["cpu_us_per_request"] for r in rows}
+        assert cpu["LRB"] > cpu["LRU"], "learned policy must cost more CPU"
+        assert cpu["GL-Cache"] > cpu["LRU"]
+
+
+class TestFig12:
+    def test_scip_enhancement_helps_lruk(self):
+        rows = E.fig12_enhance.run(scale="smoke", workloads=("CDN-T",))
+        mr = {r["policy"]: r["miss_ratio"] for r in rows}
+        assert mr["LRU-K-SCIP"] <= mr["LRU-K"] + 0.005
+        assert mr["LRB-SCIP"] <= mr["LRB"] + 0.01
+
+
+class TestConvergence:
+    def test_reports_convergence(self):
+        rows = E.convergence.run(scale="smoke", interval=1_000)
+        assert len(rows) == 3
+        for r in rows:
+            assert 0 <= r["converged_requests"] <= 20_000
+            assert 0.0 < r["final_hit_rate"] < 1.0
+            assert r["zro_denials"] >= 0

@@ -1,0 +1,101 @@
+"""FeatureTracker and the Figure 4 evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.evaluate import TASKS, build_dataset, evaluate_models
+from repro.ml.features import N_FEATURES, FeatureTracker
+from repro.ml.mabcls import MABClassifier
+
+
+class TestFeatureTracker:
+    def test_untracked_returns_none(self):
+        t = FeatureTracker()
+        assert t.features(1, 0) is None
+
+    def test_feature_width(self):
+        t = FeatureTracker()
+        t.touch(1, 100, 10)
+        x = t.features(1, 12)
+        assert x.shape == (N_FEATURES,)
+
+    def test_deltas_reflect_gaps(self):
+        t = FeatureTracker()
+        t.touch(1, 100, 10)
+        t.touch(1, 100, 20)
+        x = t.features(1, 24)
+        # delta0 = log2(24−20+1), delta1 = log2(20−10+1)
+        assert x[0] == pytest.approx(np.log2(5))
+        assert x[1] == pytest.approx(np.log2(11))
+
+    def test_never_seen_deltas_saturate(self):
+        t = FeatureTracker()
+        t.touch(1, 100, 5)
+        x = t.features(1, 5)
+        assert x[1] == 32.0  # only one access: older deltas saturate
+
+    def test_edcs_increase_with_touches(self):
+        t = FeatureTracker()
+        t.touch(1, 100, 1)
+        e1 = t.features(1, 1)[4]
+        t.touch(1, 100, 2)
+        e2 = t.features(1, 2)[4]
+        assert e2 > e1
+
+    def test_sweep_bounds_population(self):
+        t = FeatureTracker(max_objects=100)
+        for k in range(250):
+            t.touch(k, 10, k)
+        assert len(t) <= 151  # sweep halves when the cap is crossed
+
+    def test_forget(self):
+        t = FeatureTracker()
+        t.touch(1, 10, 0)
+        t.forget(1)
+        assert 1 not in t
+
+
+class TestFig4Harness:
+    @pytest.fixture(scope="class")
+    def datasets(self, request):
+        from repro.traces.cdn import make_workload
+
+        tr = make_workload("CDN-T", n_requests=15_000)
+        cache = int(tr.working_set_size * 0.02)
+        return {task: build_dataset(tr, cache, task) for task in TASKS}
+
+    def test_tasks_have_both_classes(self, datasets):
+        for task, ds in datasets.items():
+            assert 0.02 < ds.y.mean() < 0.98, f"degenerate labels for {task}"
+
+    def test_feature_rows_match_labels(self, datasets):
+        for ds in datasets.values():
+            assert len(ds.X) == len(ds.y)
+            assert np.isfinite(ds.X).all()
+
+    def test_zro_plus_pzro_counts(self, datasets):
+        # 'both' covers every event; zro + pzro partition miss/hit events.
+        assert len(datasets["zro"]) + len(datasets["pzro"]) == len(datasets["both"])
+
+    def test_evaluate_returns_all_models(self, datasets):
+        acc = evaluate_models(datasets["zro"])
+        assert set(acc) == {"LinReg", "LogReg", "SVM", "NN", "GBM", "MAB"}
+        assert all(0.0 <= v <= 1.0 for v in acc.values())
+
+    def test_invalid_task(self):
+        from repro.traces.cdn import make_workload
+
+        tr = make_workload("CDN-T", n_requests=2_000)
+        with pytest.raises(ValueError):
+            build_dataset(tr, 1_000, "nope")
+
+    def test_invalid_train_frac(self, datasets):
+        with pytest.raises(ValueError):
+            evaluate_models(datasets["zro"], train_frac=1.0)
+
+    def test_models_beat_coin_flip_on_zro(self, datasets):
+        acc = evaluate_models(datasets["zro"], models={"MAB": lambda: MABClassifier()})
+        base = max(datasets["zro"].y.mean(), 1 - datasets["zro"].y.mean())
+        assert acc["MAB"] > 0.5

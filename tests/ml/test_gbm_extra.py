@@ -1,0 +1,60 @@
+"""Extra GBM/tree coverage: prediction routing, determinism, shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.gbm import GBMClassifier, GBMRegressor
+from repro.ml.tree import RegressionTree
+
+
+class TestTreeRouting:
+    def test_single_row_predict(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]] * 5)
+        y = np.array([0.0, 0.0, 10.0, 10.0] * 5)
+        t = RegressionTree(max_depth=2, min_samples_leaf=2).fit(X, y)
+        assert t.predict(np.array([0.5]))[0] == pytest.approx(0.0, abs=1.0)
+        assert t.predict(np.array([2.5]))[0] == pytest.approx(10.0, abs=1.0)
+
+    def test_deterministic_fit(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 3))
+        y = X[:, 0] + rng.normal(scale=0.05, size=100)
+        a = RegressionTree(max_depth=3).fit(X, y).predict(X)
+        b = RegressionTree(max_depth=3).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_depth_reporting(self):
+        X = np.array([[0.0], [1.0]] * 20)
+        y = np.array([0.0, 1.0] * 20)
+        t = RegressionTree(max_depth=4, min_samples_leaf=2).fit(X, y)
+        assert 1 <= t.depth() <= 4
+
+
+class TestGBMExtra:
+    def test_more_trees_never_hurt_train_fit(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(-1, 1, size=(300, 2))
+        y = np.sin(3 * X[:, 0])
+        small = GBMRegressor(n_estimators=4, max_depth=3).fit(X, y)
+        large = GBMRegressor(n_estimators=24, max_depth=3).fit(X, y)
+        mse = lambda m: ((m.predict(X) - y) ** 2).mean()
+        assert mse(large) <= mse(small) + 1e-9
+
+    def test_regressor_single_sample_guarded(self):
+        with pytest.raises(ValueError):
+            GBMRegressor(n_estimators=0)
+
+    def test_classifier_extreme_imbalance(self):
+        X = np.vstack([np.zeros((99, 1)), np.ones((1, 1))])
+        y = np.concatenate([np.zeros(99), np.ones(1)]).astype(int)
+        clf = GBMClassifier(n_estimators=5).fit(X, y)
+        p = clf.predict_proba(X)
+        assert np.isfinite(p).all()
+
+    def test_tree_count_property(self):
+        X = np.random.default_rng(0).normal(size=(100, 2))
+        y = X[:, 0]
+        m = GBMRegressor(n_estimators=7, max_depth=2).fit(X, y)
+        assert 0 < m.n_trees_ <= 7

@@ -1,0 +1,73 @@
+"""Classification-metric helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    balanced_accuracy,
+    classification_report,
+    confusion,
+    precision_recall_f1,
+)
+
+
+class TestConfusion:
+    def test_hand_example(self):
+        y = np.array([1, 1, 0, 0, 1])
+        p = np.array([1, 0, 0, 1, 1])
+        c = confusion(y, p)
+        assert c == {"tp": 2, "fp": 1, "fn": 1, "tn": 1}
+
+    def test_counts_sum_to_n(self):
+        rng = np.random.default_rng(0)
+        y, p = rng.integers(0, 2, 50), rng.integers(0, 2, 50)
+        assert sum(confusion(y, p).values()) == 50
+
+
+class TestPRF:
+    def test_perfect(self):
+        y = np.array([1, 0, 1])
+        m = precision_recall_f1(y, y)
+        assert m == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_all_negative_predictions(self):
+        y = np.array([1, 1, 0])
+        p = np.zeros(3)
+        m = precision_recall_f1(y, p)
+        assert m["precision"] == 0.0 and m["recall"] == 0.0 and m["f1"] == 0.0
+
+    def test_known_values(self):
+        y = np.array([1, 1, 0, 0, 1])
+        p = np.array([1, 0, 0, 1, 1])
+        m = precision_recall_f1(y, p)
+        assert m["precision"] == pytest.approx(2 / 3)
+        assert m["recall"] == pytest.approx(2 / 3)
+
+
+class TestBalancedAccuracy:
+    def test_imbalance_robustness(self):
+        """Predicting the majority class scores high raw accuracy but only
+        0.5 balanced accuracy — the §2.3 imbalance trap."""
+        y = np.array([0] * 95 + [1] * 5)
+        p = np.zeros(100)
+        assert (y == p).mean() == 0.95
+        assert balanced_accuracy(y, p) == pytest.approx(0.5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=2, max_size=80))
+    def test_bounded(self, pairs):
+        y = np.array([a for a, _ in pairs], dtype=int)
+        p = np.array([b for _, b in pairs], dtype=int)
+        assert 0.0 <= balanced_accuracy(y, p) <= 1.0
+
+
+class TestReport:
+    def test_keys(self):
+        y = np.array([1, 0, 1, 0])
+        r = classification_report(y, y)
+        assert set(r) == {"accuracy", "balanced_accuracy", "precision", "recall", "f1"}
+        assert all(v == 1.0 for v in r.values())

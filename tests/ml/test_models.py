@@ -1,0 +1,189 @@
+"""From-scratch model tests: tree, GBM, linear family, NN, MAB."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.gbm import GBMClassifier, GBMRegressor
+from repro.ml.linear import LinRegClassifier, LogRegClassifier, SVMClassifier
+from repro.ml.mabcls import MABClassifier
+from repro.ml.nn import NNClassifier
+from repro.ml.tree import RegressionTree
+
+RNG = np.random.default_rng(0)
+
+
+def linearly_separable(n=600, d=3, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = (X @ np.arange(1, d + 1) > 0).astype(np.int64)
+    return X, y
+
+
+def step_function_data(n=500, seed=2):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 1))
+    y = np.where(X[:, 0] > 0.2, 3.0, -1.0)
+    return X, y
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        X, y = step_function_data()
+        t = RegressionTree(max_depth=2).fit(X, y)
+        pred = t.predict(np.array([[-0.5], [0.8]]))
+        assert pred[0] == pytest.approx(-1.0, abs=0.3)
+        assert pred[1] == pytest.approx(3.0, abs=0.3)
+
+    def test_constant_target_single_leaf(self):
+        X = RNG.normal(size=(50, 2))
+        y = np.full(50, 7.0)
+        t = RegressionTree().fit(X, y)
+        assert t.depth() == 0
+        assert np.allclose(t.predict(X), 7.0)
+
+    def test_min_samples_leaf_respected(self):
+        X, y = step_function_data(n=30)
+        t = RegressionTree(max_depth=8, min_samples_leaf=10).fit(X, y)
+        assert t.depth() <= 2
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.empty((0, 2)), np.empty(0))
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 4), st.integers(20, 80))
+    def test_training_reduces_sse(self, depth, n):
+        """Property: a fitted tree never has higher SSE than the mean."""
+        rng = np.random.default_rng(n)
+        X = rng.normal(size=(n, 2))
+        y = X[:, 0] * 2 + rng.normal(scale=0.1, size=n)
+        t = RegressionTree(max_depth=depth, min_samples_leaf=2).fit(X, y)
+        sse_tree = ((t.predict(X) - y) ** 2).sum()
+        sse_mean = ((y.mean() - y) ** 2).sum()
+        assert sse_tree <= sse_mean + 1e-9
+
+
+class TestGBM:
+    def test_regressor_beats_single_tree(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        gbm = GBMRegressor(n_estimators=30, max_depth=3).fit(X, y)
+        assert ((gbm.predict(X) - y) ** 2).mean() < ((tree.predict(X) - y) ** 2).mean()
+
+    def test_classifier_on_separable(self):
+        X, y = linearly_separable()
+        clf = GBMClassifier(n_estimators=20).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.9
+
+    def test_proba_in_unit_interval(self):
+        X, y = linearly_separable(n=200)
+        clf = GBMClassifier(n_estimators=5).fit(X, y)
+        p = clf.predict_proba(X)
+        assert ((p >= 0) & (p <= 1)).all()
+
+    def test_classifier_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            GBMClassifier().fit(np.zeros((4, 1)), np.array([0, 1, 2, 1]))
+
+    def test_early_stop_on_exhausted_residuals(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.zeros(10)
+        gbm = GBMRegressor(n_estimators=50).fit(X, y)
+        assert gbm.n_trees_ == 0
+
+
+class TestLinearFamily:
+    @pytest.mark.parametrize("cls", [LinRegClassifier, LogRegClassifier, SVMClassifier])
+    def test_separable_accuracy(self, cls):
+        X, y = linearly_separable()
+        clf = cls().fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.9
+
+    @pytest.mark.parametrize("cls", [LinRegClassifier, LogRegClassifier, SVMClassifier])
+    def test_rejects_nonbinary(self, cls):
+        with pytest.raises(ValueError):
+            cls().fit(np.zeros((4, 2)), np.array([0.0, 2.0, 1.0, 1.0]))
+
+    def test_logreg_proba(self):
+        X, y = linearly_separable(n=200)
+        clf = LogRegClassifier().fit(X, y)
+        p = clf.predict_proba(X)
+        assert ((p >= 0) & (p <= 1)).all()
+
+    def test_predict_before_fit(self):
+        for cls in (LinRegClassifier, LogRegClassifier, SVMClassifier):
+            with pytest.raises(RuntimeError):
+                cls().predict(np.zeros((1, 2)))
+
+    def test_svm_deterministic(self):
+        X, y = linearly_separable(n=300)
+        a = SVMClassifier(seed=4).fit(X, y).predict(X)
+        b = SVMClassifier(seed=4).fit(X, y).predict(X)
+        assert (a == b).all()
+
+
+class TestNN:
+    def test_separable_accuracy(self):
+        X, y = linearly_separable(n=400)
+        clf = NNClassifier(hidden=32, epochs=40, lr=5e-3, seed=0).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.9
+
+    def test_learns_xor(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, size=(800, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.int64)
+        clf = NNClassifier(hidden=32, epochs=60, lr=5e-3, seed=0).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.85, "a linear model cannot do this"
+
+    def test_deterministic(self):
+        X, y = linearly_separable(n=200)
+        a = NNClassifier(hidden=16, epochs=3, seed=9).fit(X, y).predict(X)
+        b = NNClassifier(hidden=16, epochs=3, seed=9).fit(X, y).predict(X)
+        assert (a == b).all()
+
+    def test_invalid_hidden(self):
+        with pytest.raises(ValueError):
+            NNClassifier(hidden=0)
+
+
+class TestMAB:
+    def test_learns_bucketable_rule(self):
+        X, y = linearly_separable(n=1_000, d=2)
+        clf = MABClassifier(bins=8).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.8
+
+    def test_prequential_tracks_drift(self):
+        """The label rule flips mid-stream; the online MAB adapts while a
+        frozen model cannot."""
+        rng = np.random.default_rng(5)
+        X = rng.uniform(0, 1, size=(2_000, 1))
+        y = np.concatenate(
+            [(X[:1_000, 0] > 0.5).astype(int), (X[1_000:, 0] <= 0.5).astype(int)]
+        )
+        clf = MABClassifier(bins=6, decay=0.99).fit(X[:500], y[:500])
+        online_acc = (clf.predict_online(X[500:], y[500:]) == y[500:]).mean()
+        frozen = MABClassifier(bins=6).fit(X[:500], y[:500])
+        frozen_acc = (frozen.predict(X[500:]) == y[500:]).mean()
+        assert online_acc > frozen_acc
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            MABClassifier(bins=1)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MABClassifier().predict(np.zeros((1, 2)))

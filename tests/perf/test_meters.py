@@ -1,0 +1,37 @@
+"""Resource meters for the Figure 9/11 comparisons."""
+
+from __future__ import annotations
+
+from repro.cache.lru import LRUCache
+from repro.core.scip import SCIPCache
+from repro.perf.meters import profile_many, profile_policy
+
+
+class TestProfile:
+    def test_fields_populated(self, zipf_trace):
+        p = profile_policy(lambda cap: LRUCache(cap), zipf_trace, 20_000)
+        assert p.tps > 0
+        assert p.cpu_us_per_request >= 0
+        assert 0 <= p.cpu_percent <= 100
+        assert p.metadata_bytes > 0
+        assert p.peak_alloc_bytes > 0
+
+    def test_scip_memory_above_lru(self, zipf_trace):
+        """SCIP carries ghost metadata LRU doesn't (Fig 9's memory gap)."""
+        profiles = profile_many(
+            {"LRU": lambda c: LRUCache(c), "SCIP": lambda c: SCIPCache(c)},
+            zipf_trace,
+            20_000,
+        )
+        assert profiles["SCIP"].metadata_bytes >= profiles["LRU"].metadata_bytes
+
+    def test_as_dict(self, zipf_trace):
+        p = profile_policy(lambda cap: LRUCache(cap), zipf_trace, 10_000)
+        d = p.as_dict()
+        assert {"policy", "tps", "cpu_percent", "metadata_bytes"} <= set(d)
+
+    def test_memory_measurement_optional(self, tiny_trace):
+        p = profile_policy(
+            lambda cap: LRUCache(cap), tiny_trace, 1_000, measure_memory=False
+        )
+        assert p.peak_alloc_bytes == 0

@@ -1,0 +1,37 @@
+"""Additional parallel-runner coverage (cheap: tiny traces, 2 workers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.parallel import run_grid_parallel
+
+
+class TestParallelGrid:
+    def test_deterministic_across_runs(self):
+        kwargs = dict(
+            policies=["SCIP"],
+            workloads=["CDN-T"],
+            n_requests=6_000,
+            cache_fractions=[0.02],
+            max_workers=2,
+        )
+        a = run_grid_parallel(**kwargs)
+        b = run_grid_parallel(**kwargs)
+        assert a[0]["miss_ratio"] == b[0]["miss_ratio"]
+
+    def test_rows_carry_identifiers(self):
+        rows = run_grid_parallel(
+            ["LRU", "FIFO"], ["CDN-T", "CDN-W"], 4_000, [0.02], max_workers=2
+        )
+        assert len(rows) == 4
+        assert {(r["policy"], r["trace"]) for r in rows} == {
+            ("LRU", "CDN-T"),
+            ("LRU", "CDN-W"),
+            ("FIFO", "CDN-T"),
+            ("FIFO", "CDN-W"),
+        }
+
+    def test_unknown_policy_raises_in_worker(self):
+        with pytest.raises(Exception):
+            run_grid_parallel(["NOPE"], ["CDN-T"], 2_000, [0.02], max_workers=1)

@@ -1,0 +1,91 @@
+"""Request / Trace / next-access annotation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.request import (
+    NO_NEXT_ACCESS,
+    Request,
+    Trace,
+    annotate_next_access,
+    requests_from_arrays,
+)
+
+
+class TestRequest:
+    def test_fields(self):
+        r = Request(5, 42, 1024)
+        assert (r.time, r.key, r.size) == (5, 42, 1024)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Request(0, 1, 0)
+
+    def test_equality_and_hash(self):
+        assert Request(1, 2, 3) == Request(1, 2, 3)
+        assert Request(1, 2, 3) != Request(1, 2, 4)
+        assert len({Request(1, 2, 3), Request(1, 2, 3)}) == 1
+
+
+class TestTrace:
+    def test_sequence_protocol(self, tiny_trace):
+        assert len(tiny_trace) == 10
+        assert tiny_trace[0].key == 1
+        assert [r.key for r in tiny_trace][:3] == [1, 2, 3]
+
+    def test_unique_objects_and_wss(self, tiny_trace):
+        assert tiny_trace.unique_objects == 5
+        assert tiny_trace.working_set_size == 50
+
+    def test_wss_uses_last_seen_size(self):
+        tr = Trace([Request(0, 1, 10), Request(1, 1, 99)])
+        assert tr.working_set_size == 99
+
+    def test_total_bytes(self, tiny_trace):
+        assert tiny_trace.total_bytes == 100
+
+    def test_size_stats(self, tiny_trace):
+        s = tiny_trace.size_stats()
+        assert s["min"] == s["max"] == s["mean"] == 10
+
+    def test_summary_keys(self, tiny_trace):
+        s = tiny_trace.summary()
+        assert {"name", "total_requests", "unique_objects", "working_set_size"} <= set(s)
+
+
+class TestAnnotation:
+    def test_next_access_indices(self, tiny_trace):
+        annotate_next_access(tiny_trace)
+        # Key 1 appears at indices 0, 3, 6, 9.
+        assert tiny_trace[0].next_access == 3
+        assert tiny_trace[3].next_access == 6
+        assert tiny_trace[6].next_access == 9
+        assert tiny_trace[9].next_access == NO_NEXT_ACCESS
+
+    def test_singletons_get_sentinel(self, tiny_trace):
+        annotate_next_access(tiny_trace)
+        assert tiny_trace[4].next_access == NO_NEXT_ACCESS  # key 4
+        assert tiny_trace[7].next_access == NO_NEXT_ACCESS  # key 5
+
+    def test_annotated_flag(self, tiny_trace):
+        assert not tiny_trace.annotated
+        annotate_next_access(tiny_trace)
+        assert tiny_trace.annotated
+
+    def test_accepts_plain_sequence(self):
+        reqs = [Request(0, 1, 1), Request(1, 1, 1)]
+        tr = annotate_next_access(reqs)
+        assert isinstance(tr, Trace)
+        assert tr[0].next_access == 1
+
+
+class TestFromArrays:
+    def test_builds_requests(self):
+        reqs = requests_from_arrays([1, 2], [10, 20])
+        assert reqs[0] == Request(0, 1, 10)
+        assert reqs[1] == Request(1, 2, 20)
+
+    def test_explicit_times(self):
+        reqs = requests_from_arrays([1], [10], times=[99])
+        assert reqs[0].time == 99

@@ -1,0 +1,71 @@
+"""Additional TDC deployment-experiment coverage: layer-scoped rollouts,
+alternative policies, and monitor arithmetic under the rollout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.ascip import ASCIPCache
+from repro.cache.lru import LRUCache
+from repro.sim.request import Request, Trace
+from repro.tdc.cluster import TDCCluster
+from repro.tdc.deploy import run_deployment
+from repro.tdc.monitor import Monitor
+
+
+class TestLayerScopedRollout:
+    def _cluster(self):
+        return TDCCluster(
+            2, 1, 50_000, 80_000, lambda cap: LRUCache(cap),
+            monitor=Monitor(bucket_requests=1_000),
+        )
+
+    def test_oc_only_rollout(self):
+        c = self._cluster()
+        c.deploy_policy(lambda cap: ASCIPCache(cap), layer="oc")
+        assert {n.policy.name for n in c.oc} == {"ASC-IP"}
+        assert {n.policy.name for n in c.dc} == {"LRU"}
+
+    def test_dc_only_rollout(self):
+        c = self._cluster()
+        c.deploy_policy(lambda cap: ASCIPCache(cap), layer="dc")
+        assert {n.policy.name for n in c.oc} == {"LRU"}
+        assert {n.policy.name for n in c.dc} == {"ASC-IP"}
+
+    def test_rollout_preserves_in_flight_traffic(self):
+        """Requests served across the rollout boundary must all be counted
+        exactly once by the monitor."""
+        c = self._cluster()
+        reqs = [Request(i, i % 40, 500) for i in range(4_000)]
+        for i, r in enumerate(reqs):
+            if i == 2_000:
+                c.deploy_policy(lambda cap: ASCIPCache(cap))
+            c.serve(r)
+        c.monitor.flush()
+        assert sum(b.requests for b in c.monitor.buckets) == 4_000
+
+
+class TestDeploymentKnobs:
+    def test_alternative_new_policy(self, cdn_t_small):
+        res = run_deployment(
+            cdn_t_small,
+            new_policy=lambda cap: ASCIPCache(cap),
+            bucket_requests=2_000,
+        )
+        # An ASC-IP rollout on this workload must also cut BTO traffic.
+        assert res.bto_gbps_rel_change < 0
+
+    def test_switch_point_respected(self, cdn_t_small):
+        res = run_deployment(cdn_t_small, switch_at_frac=0.25, bucket_requests=2_000)
+        d = res.as_dict()
+        assert d["before_bto_ratio"] > 0
+
+    def test_explicit_capacities(self, cdn_t_small):
+        res = run_deployment(
+            cdn_t_small,
+            oc_capacity=2_000_000,
+            dc_capacity=3_000_000,
+            bucket_requests=2_000,
+        )
+        assert all(n.policy.capacity == 2_000_000 for n in res.cluster.oc)
+        assert all(n.policy.capacity == 3_000_000 for n in res.cluster.dc)

@@ -1,0 +1,65 @@
+"""Consistent-hash ring tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tdc.hashring import HashRing
+
+
+class TestHashRing:
+    def test_routing_stable(self):
+        ring = HashRing(["a", "b", "c"])
+        assert all(ring.route(k) == ring.route(k) for k in range(100))
+
+    def test_all_nodes_get_load(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64)
+        dist = ring.load_distribution(range(3_000))
+        assert all(v > 0 for v in dist.values())
+        # Virtual nodes keep imbalance moderate.
+        assert max(dist.values()) < 3 * min(dist.values())
+
+    def test_node_removal_moves_only_its_keys(self):
+        ring = HashRing(["a", "b", "c", "d"], vnodes=64)
+        before = {k: ring.route(k) for k in range(2_000)}
+        ring.remove_node("c")
+        moved = sum(1 for k, owner in before.items() if ring.route(k) != owner)
+        owned_by_c = sum(1 for owner in before.values() if owner == "c")
+        assert moved == owned_by_c, "only the removed node's keys may move"
+
+    def test_node_addition_bounded_reshuffle(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64)
+        before = {k: ring.route(k) for k in range(2_000)}
+        ring.add_node("d")
+        moved = sum(1 for k, owner in before.items() if ring.route(k) != owner)
+        # The newcomer should take roughly 1/4 of the keyspace, not most.
+        assert moved < len(before) * 0.45
+
+    def test_add_idempotent(self):
+        ring = HashRing(["a"])
+        n = len(ring._ring)
+        ring.add_node("a")
+        assert len(ring._ring) == n
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.remove_node("a")
+        with pytest.raises(KeyError):
+            ring.remove_node("zzz")
+
+    def test_cluster_integration(self, cdn_t_small):
+        from repro.cache.lru import LRUCache
+        from repro.tdc.cluster import TDCCluster
+
+        cluster = TDCCluster(
+            3, 2, 1_000_000, 2_000_000,
+            lambda cap: LRUCache(cap), use_hashring=True,
+        )
+        for r in list(cdn_t_small)[:3_000]:
+            cluster.serve(r)
+        served = sum(n.policy.stats.requests for n in cluster.oc)
+        assert served == 3_000
+        assert all(n.policy.stats.requests > 0 for n in cluster.oc)

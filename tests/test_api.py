@@ -1,0 +1,91 @@
+"""SmartCache facade tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SmartCache
+from repro.cache.lru import LRUCache
+
+
+class TestSmartCache:
+    def test_get_put_roundtrip(self):
+        c = SmartCache(10_000)
+        assert c.get("a") is None
+        c.put("a", b"x" * 100)
+        assert c.get("a") == b"x" * 100
+        assert "a" in c
+
+    def test_default_on_miss(self):
+        c = SmartCache(1_000)
+        assert c.get("nope", default=42) == 42
+
+    def test_eviction_under_pressure(self):
+        c = SmartCache(1_000, policy="LRU")
+        for i in range(50):
+            c.put(f"k{i}", b"v" * 100)
+        assert len(c) <= 10
+        s = c.stats()
+        assert s["evictions"] > 0
+        assert s["used_bytes"] <= s["capacity_bytes"]
+
+    def test_get_or_load(self):
+        c = SmartCache(10_000)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return b"payload"
+
+        assert c.get_or_load("x", loader) == b"payload"
+        assert c.get_or_load("x", loader) == b"payload"
+        assert len(calls) == 1, "second access must be served from cache"
+
+    def test_explicit_size(self):
+        c = SmartCache(1_000, policy="LRU")
+        c.put("big", object(), size=900)
+        c.put("other", object(), size=200)  # must evict 'big'
+        assert "big" not in c
+
+    def test_invalidate(self):
+        c = SmartCache(10_000)
+        c.put("a", b"v")
+        assert c.invalidate("a") is True
+        assert "a" not in c
+        assert c.invalidate("a") is False
+
+    def test_custom_sizeof(self):
+        c = SmartCache(100, sizeof=lambda v: 60, policy="LRU")
+        c.put("a", "anything")
+        c.put("b", "anything")  # 120 > 100 → a evicted
+        assert "b" in c and "a" not in c
+
+    def test_prebuilt_policy_instance(self):
+        c = SmartCache(0, policy=LRUCache(5_000))
+        c.put("a", b"x")
+        assert "a" in c
+        with pytest.raises(ValueError):
+            SmartCache(0, policy=LRUCache(100), seed=3)
+
+    def test_unknown_policy_name(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            SmartCache(1_000, policy="MAGIC")
+
+    def test_stats_shape(self):
+        c = SmartCache(1_000)
+        c.put("a", b"x")
+        c.get("a")
+        s = c.stats()
+        assert s["policy"] == "SCIP"
+        assert s["hits"] == 1
+
+    def test_value_store_swept(self):
+        c = SmartCache(500, policy="LRU")
+        for i in range(600):
+            c.put(i, b"v" * 50)
+        # The value map must not grow unboundedly past the resident set.
+        assert len(c._values) <= 2 * len(c) + 129
+
+    def test_scip_policy_kwargs_forwarded(self):
+        c = SmartCache(1_000, policy="SCIP", update_interval=7)
+        assert c._policy.update_interval == 7

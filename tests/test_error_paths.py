@@ -1,0 +1,135 @@
+"""Failure injection: malformed inputs, corrupted files, degenerate
+configurations — every public entry point must fail loudly and precisely,
+never corrupt state silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import make_policy
+from repro.core.scip import SCIPCache
+from repro.sim.request import Request, Trace
+
+
+class TestRequestValidation:
+    def test_zero_and_negative_sizes(self):
+        with pytest.raises(ValueError):
+            Request(0, 1, 0)
+        with pytest.raises(ValueError):
+            Request(0, 1, -10)
+
+
+class TestPolicyConfigGuards:
+    @pytest.mark.parametrize("name", ["LRU", "SCIP", "ASC-IP", "LIRS", "S3-FIFO"])
+    def test_zero_capacity(self, name):
+        builder = SCIPCache if name == "SCIP" else (lambda c: make_policy(name, c))
+        with pytest.raises(ValueError):
+            builder(0)
+
+    def test_scip_bad_knobs(self):
+        for kwargs in [
+            {"history_fraction": -0.1},
+            {"update_interval": 0},
+            {"escape": -0.5},
+            {"escape": 2.0},
+        ]:
+            with pytest.raises(ValueError):
+                SCIPCache(100, **kwargs)
+
+
+class TestCorruptTraceFiles:
+    def test_truncated_lrb_line(self, tmp_path):
+        from repro.traces.io import read_lrb
+
+        p = tmp_path / "x.tr"
+        p.write_text("0 1 10\n1 2\n")
+        with pytest.raises(ValueError, match="x.tr:2"):
+            read_lrb(p)
+
+    def test_non_numeric_lrb(self, tmp_path):
+        from repro.traces.io import read_lrb
+
+        p = tmp_path / "x.tr"
+        p.write_text("0 one 10\n")
+        with pytest.raises(ValueError):
+            read_lrb(p)
+
+    def test_zero_size_in_file(self, tmp_path):
+        from repro.traces.io import read_lrb
+
+        p = tmp_path / "x.tr"
+        p.write_text("0 1 0\n")
+        with pytest.raises(ValueError):
+            read_lrb(p)
+
+    def test_missing_file(self):
+        from repro.traces.io import read_lrb
+
+        with pytest.raises(FileNotFoundError):
+            read_lrb("/nonexistent/trace.tr")
+
+
+class TestModelInputGuards:
+    def test_fit_empty(self):
+        from repro.ml.gbm import GBMRegressor
+        from repro.ml.nn import NNClassifier
+
+        with pytest.raises(ValueError):
+            GBMRegressor().fit(np.empty((0, 3)), np.empty(0))
+        with pytest.raises(ValueError):
+            NNClassifier().fit(np.empty((0, 3)), np.empty(0))
+
+    def test_metrics_shape_mismatch(self):
+        from repro.ml.metrics import confusion
+
+        with pytest.raises(ValueError):
+            confusion(np.zeros(3), np.zeros(4))
+
+
+class TestTransformGuards:
+    def test_bad_slice(self, tiny_trace):
+        from repro.traces.transform import slice_trace
+
+        with pytest.raises(ValueError):
+            slice_trace(tiny_trace, 5, 3)
+
+    def test_empty_concat(self):
+        from repro.traces.transform import concat
+
+        with pytest.raises(ValueError):
+            concat([])
+
+    def test_sampling_bounds(self, tiny_trace):
+        from repro.traces.transform import sample_objects
+
+        with pytest.raises(ValueError):
+            sample_objects(tiny_trace, 0.0)
+        with pytest.raises(ValueError):
+            sample_objects(tiny_trace, 1.5)
+
+
+class TestStateIntegrityAfterErrors:
+    def test_bypass_leaves_cache_consistent(self):
+        """An oversized request must not disturb resident state."""
+        p = SCIPCache(100, update_interval=10**9)
+        p.request(Request(0, 1, 40))
+        p.request(Request(1, 2, 40))
+        before = sorted(p.resident_keys())
+        p.request(Request(2, 3, 500))  # bypassed
+        assert sorted(p.resident_keys()) == before
+        p.check_invariants()
+
+    def test_engine_rejects_unknown_scale(self):
+        from repro.experiments.common import get_trace
+
+        with pytest.raises(KeyError):
+            get_trace("CDN-T", scale="galactic")
+
+    def test_runner_unknown_trace_fraction_key(self, tiny_trace):
+        from repro.cache.lru import LRUCache
+        from repro.sim.runner import run_grid
+
+        with pytest.raises(KeyError):
+            run_grid({"LRU": LRUCache}, [tiny_trace], {"other-name": [0.1]})

@@ -1,0 +1,88 @@
+"""Mattson stack-distance / miss-ratio-curve tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUCache
+from repro.sim.request import Request, Trace
+from repro.traces.mrc import miss_ratio_curve, stack_distances
+
+
+def trace_of(keys, size=10):
+    return Trace([Request(i, k, s if isinstance(size, int) else size[i], )
+                  for i, (k, s) in enumerate((k, size) for k in keys)])
+
+
+class TestStackDistances:
+    def test_immediate_reuse_distance_zero(self):
+        tr = trace_of([1, 1])
+        assert stack_distances(tr) == [(0, 10)]
+
+    def test_classic_sequence(self):
+        # a b c b a: b's distance = bytes of {c}=10; a's = bytes of {b,c}=20.
+        tr = trace_of(["a", "b", "c", "b", "a"])
+        assert stack_distances(tr) == [(10, 10), (20, 10)]
+
+    def test_no_reuse_no_distances(self):
+        tr = trace_of([1, 2, 3])
+        assert stack_distances(tr) == []
+
+    def test_distance_counts_current_sizes(self):
+        reqs = [Request(0, 1, 10), Request(1, 2, 70), Request(2, 1, 10)]
+        tr = Trace(reqs)
+        assert stack_distances(tr) == [(70, 10)]
+
+
+class TestMissRatioCurve:
+    def test_matches_replayed_lru_exactly_unit_sizes(self):
+        import random
+
+        rng = random.Random(3)
+        reqs = [Request(i, rng.randrange(50), 1) for i in range(3_000)]
+        tr = Trace(reqs)
+        for cap in (5, 17, 40):
+            mrc = miss_ratio_curve(tr, [cap])[cap]
+            lru = LRUCache(cap)
+            for r in tr:
+                lru.request(r)
+            assert mrc == pytest.approx(lru.stats.miss_ratio)
+
+    def test_close_to_replayed_lru_variable_sizes(self, cdn_t_small):
+        cap = int(cdn_t_small.working_set_size * 0.03)
+        mrc = miss_ratio_curve(cdn_t_small, [cap])[cap]
+        lru = LRUCache(cap)
+        for r in cdn_t_small:
+            lru.request(r)
+        assert mrc == pytest.approx(lru.stats.miss_ratio, abs=0.02)
+
+    def test_monotone_in_cache_size(self, cdn_t_small):
+        sizes = [int(cdn_t_small.working_set_size * f) for f in (0.01, 0.05, 0.2)]
+        curve = miss_ratio_curve(cdn_t_small, sizes)
+        vals = [curve[s] for s in sizes]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_empty_sizes_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            miss_ratio_curve(tiny_trace, [])
+
+    def test_all_unique_trace(self):
+        tr = trace_of([1, 2, 3, 4])
+        assert miss_ratio_curve(tr, [100]) == {100: 1.0}
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 12), min_size=2, max_size=200),
+        st.integers(1, 15),
+    )
+    def test_property_matches_lru(self, keys, cap):
+        """Property: for unit sizes, the Mattson curve equals replayed LRU
+        at every capacity."""
+        tr = Trace([Request(i, k, 1) for i, k in enumerate(keys)])
+        mrc = miss_ratio_curve(tr, [cap])[cap]
+        lru = LRUCache(cap)
+        for r in tr:
+            lru.request(r)
+        assert mrc == pytest.approx(lru.stats.miss_ratio)

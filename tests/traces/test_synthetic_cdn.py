@@ -1,0 +1,119 @@
+"""Synthetic generator and CDN profile tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.analysis import fig1_panel, reuse_statistics
+from repro.traces.cdn import cdn_a_spec, cdn_t_spec, cdn_w_spec, make_workload
+from repro.traces.synthetic import WorkloadSpec, generate_trace, zipf_probs
+
+
+class TestZipf:
+    def test_normalised(self):
+        p = zipf_probs(100, 0.9)
+        assert p.sum() == pytest.approx(1.0)
+        assert (np.diff(p) <= 0).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_probs(0, 1.0)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = generate_trace(WorkloadSpec(n_requests=5_000, seed=3))
+        b = generate_trace(WorkloadSpec(n_requests=5_000, seed=3))
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(WorkloadSpec(n_requests=5_000, seed=1))
+        b = generate_trace(WorkloadSpec(n_requests=5_000, seed=2))
+        assert any(x != y for x, y in zip(a, b))
+
+    def test_sizes_within_clamps(self):
+        spec = WorkloadSpec(n_requests=5_000, min_size=100, max_size=5_000)
+        tr = generate_trace(spec)
+        sizes = [r.size for r in tr]
+        assert min(sizes) >= 100
+        assert max(sizes) <= 5_000
+
+    def test_per_key_size_stable(self):
+        tr = generate_trace(WorkloadSpec(n_requests=10_000, seed=5))
+        seen = {}
+        for r in tr:
+            if r.key in seen:
+                assert seen[r.key] == r.size, "object size must be stable"
+            seen[r.key] = r.size
+
+    def test_times_monotonic(self):
+        tr = generate_trace(WorkloadSpec(n_requests=3_000))
+        times = [r.time for r in tr]
+        assert times == sorted(times)
+
+    def test_component_budget_rejected_when_no_core(self):
+        with pytest.raises(ValueError):
+            generate_trace(WorkloadSpec(one_shot_frac=0.6, burst_frac=0.4))
+
+    def test_one_shot_population_exists(self):
+        spec = WorkloadSpec(n_requests=10_000, seed=2)
+        tr = generate_trace(spec)
+        stats = reuse_statistics(tr)
+        assert stats["one_hit_wonder_rate"] > 0.1
+
+
+class TestCDNProfiles:
+    @pytest.mark.parametrize("name", ["CDN-T", "CDN-W", "CDN-A"])
+    def test_profiles_generate(self, name):
+        tr = make_workload(name, n_requests=10_000)
+        assert len(tr) > 8_000
+        assert tr.name == name
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            make_workload("CDN-X")
+
+    def test_reuse_ordering_matches_table1(self, cdn_t_small, cdn_w_small, cdn_a_small):
+        """Requests-per-object: CDN-W ≫ CDN-T > CDN-A (Table 1 ratios
+        42.7 / 3.19 / 1.83)."""
+        r = {
+            t.name: reuse_statistics(t)["requests_per_object"]
+            for t in (cdn_t_small, cdn_w_small, cdn_a_small)
+        }
+        assert r["CDN-W"] > r["CDN-T"] > r["CDN-A"]
+
+    def test_mean_sizes_in_cdn_band(self, cdn_t_small, cdn_w_small, cdn_a_small):
+        for t in (cdn_t_small, cdn_w_small, cdn_a_small):
+            mean = t.size_stats()["mean"]
+            assert 10_000 < mean < 200_000, f"{t.name} mean {mean}"
+
+    def test_one_hit_rate_ordering(self, cdn_t_small, cdn_a_small):
+        """CDN-A (photo churn) has more one-hit wonders than CDN-T."""
+        a = reuse_statistics(cdn_a_small)["one_hit_wonder_rate"]
+        t = reuse_statistics(cdn_t_small)["one_hit_wonder_rate"]
+        assert a > t
+
+    def test_specs_expose_knobs(self):
+        for factory in (cdn_t_spec, cdn_w_spec, cdn_a_spec):
+            spec = factory(n_requests=1_000)
+            assert spec.n_requests == 1_000
+            assert 0 < spec.one_shot_frac < 1
+
+
+class TestFig1Shapes:
+    def test_zro_share_falls_with_cache_size(self, cdn_t_small):
+        rows = fig1_panel(cdn_t_small, fractions=(0.01, 0.10))
+        assert rows[0].zro_share_of_misses >= rows[1].zro_share_of_misses - 0.05
+
+    def test_miss_ratio_falls_with_cache_size(self, cdn_t_small):
+        rows = fig1_panel(cdn_t_small, fractions=(0.01, 0.10))
+        assert rows[0].miss_ratio_lru > rows[1].miss_ratio_lru
+
+    def test_treatment_reduces_miss_ratio(self, cdn_t_small):
+        rows = fig1_panel(cdn_t_small, fractions=(0.02,))
+        r = rows[0]
+        assert r.miss_ratio_treat_zro < r.miss_ratio_lru
+        assert r.miss_ratio_treat_pzro <= r.miss_ratio_lru
+        assert r.miss_ratio_treat_both <= r.miss_ratio_treat_zro

@@ -1,0 +1,79 @@
+"""Trace transformation utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.request import Request, Trace
+from repro.traces.transform import concat, interleave, sample_objects, slice_trace
+
+
+class TestSlice:
+    def test_contents_and_retiming(self, tiny_trace):
+        sub = slice_trace(tiny_trace, 2, 5)
+        assert len(sub) == 3
+        assert [r.key for r in sub] == [tiny_trace[i].key for i in range(2, 5)]
+        assert [r.time for r in sub] == [0, 1, 2]
+
+    def test_open_end(self, tiny_trace):
+        assert len(slice_trace(tiny_trace, 4)) == len(tiny_trace) - 4
+
+
+class TestConcat:
+    def test_lengths_add(self, tiny_trace):
+        out = concat([tiny_trace, tiny_trace])
+        assert len(out) == 2 * len(tiny_trace)
+        assert out[len(tiny_trace)].key == tiny_trace[0].key
+
+    def test_regime_shift_construction(self, tiny_trace, scan_trace):
+        out = concat([tiny_trace, scan_trace], name="shift")
+        assert out.name == "shift"
+        times = [r.time for r in out]
+        assert times == sorted(times)
+
+
+class TestInterleave:
+    def test_key_isolation(self, tiny_trace):
+        out = interleave([tiny_trace, tiny_trace])
+        keys_a = {r.key for r in out if r.key < 10**12}
+        keys_b = {r.key for r in out if r.key >= 10**12}
+        assert len(keys_a) == len(keys_b) == tiny_trace.unique_objects
+        assert not keys_a & keys_b
+
+    def test_merge_respects_time(self, tiny_trace, scan_trace):
+        out = interleave([tiny_trace, scan_trace], isolate_keys=True)
+        assert len(out) == len(tiny_trace) + len(scan_trace)
+
+    def test_shared_keyspace_mode(self, tiny_trace):
+        out = interleave([tiny_trace, tiny_trace], isolate_keys=False)
+        assert out.unique_objects == tiny_trace.unique_objects
+
+
+class TestSampleObjects:
+    def test_keeps_whole_objects(self, zipf_trace):
+        sub = sample_objects(zipf_trace, 0.5, seed=1)
+        # Every sampled object retains ALL its requests.
+        full_counts = {}
+        for r in zipf_trace:
+            full_counts[r.key] = full_counts.get(r.key, 0) + 1
+        sub_counts = {}
+        for r in sub:
+            sub_counts[r.key] = sub_counts.get(r.key, 0) + 1
+        for k, c in sub_counts.items():
+            assert c == full_counts[k], "object sampled partially"
+
+    def test_fraction_one_is_identity(self, tiny_trace):
+        sub = sample_objects(tiny_trace, 1.0)
+        assert len(sub) == len(tiny_trace)
+
+    def test_preserves_reuse_structure_statistically(self, cdn_t_small):
+        from repro.traces.analysis import reuse_statistics
+
+        full = reuse_statistics(cdn_t_small)
+        half = reuse_statistics(sample_objects(cdn_t_small, 0.5, seed=2))
+        assert half["requests_per_object"] == pytest.approx(
+            full["requests_per_object"], rel=0.15
+        )
+        assert half["one_hit_wonder_rate"] == pytest.approx(
+            full["one_hit_wonder_rate"], abs=0.08
+        )
