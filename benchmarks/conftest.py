@@ -16,6 +16,14 @@ import pytest
 SCALE = "bench"
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every figure bench is a macro-benchmark: mark slow so CI's
+    ``-m "not slow"`` deselects them even when benchmarks/ is collected."""
+    slow = pytest.mark.slow
+    for item in items:
+        item.add_marker(slow)
+
+
 @pytest.fixture(scope="session")
 def scale():
     return SCALE

@@ -8,6 +8,11 @@ explicitly does *not* integrate with it, which our enhancement tests assert.
 
 Adapted to variable object sizes: capacities and ``p`` are tracked in bytes;
 the REPLACE rule compares T1's byte occupancy against ``p``.
+
+The list an object currently occupies is stored *on its intrusive node*
+(``Node.data``, one of the ``T1``/``T2``/``B1``/``B2`` constants) rather
+than in a ``key -> (node, tag)`` side map — every hit, REPLACE and ghost
+transition used to allocate a fresh tuple; now they are a single int store.
 """
 
 from __future__ import annotations
@@ -17,6 +22,9 @@ from repro.cache.queue import LinkedQueue, Node
 from repro.sim.request import Request
 
 __all__ = ["ARCCache"]
+
+#: List tags stored in ``Node.data``.  Residency is ``data < B1``.
+T1, T2, B1, B2 = 0, 1, 2, 3
 
 
 class ARCCache(CachePolicy):
@@ -30,7 +38,7 @@ class ARCCache(CachePolicy):
         self.t2 = LinkedQueue()
         self.b1 = LinkedQueue()
         self.b2 = LinkedQueue()
-        # key -> (node, list_tag); tags: 't1' 't2' 'b1' 'b2'
+        # key -> node; the node's ``data`` slot carries its list tag.
         self._where: dict = {}
         self.p = 0  # adaptive target for t1, in bytes
 
@@ -54,15 +62,15 @@ class ARCCache(CachePolicy):
             self.t1.bytes > self.p or (in_b2 and self.t1.bytes == self.p)
         ):
             victim = self.t1.pop_lru()
-            self._where[victim.key] = (victim, "b1")
+            victim.data = B1
             self.b1.push_mru(victim)
         elif len(self.t2):
             victim = self.t2.pop_lru()
-            self._where[victim.key] = (victim, "b2")
+            victim.data = B2
             self.b2.push_mru(victim)
         elif len(self.t1):
             victim = self.t1.pop_lru()
-            self._where[victim.key] = (victim, "b1")
+            victim.data = B1
             self.b1.push_mru(victim)
         else:  # pragma: no cover - nothing resident
             return
@@ -75,51 +83,50 @@ class ARCCache(CachePolicy):
 
     # -- CachePolicy ----------------------------------------------------------
     def _lookup(self, key: int) -> bool:
-        entry = self._where.get(key)
-        return entry is not None and entry[1] in ("t1", "t2")
+        node = self._where.get(key)
+        return node is not None and node.data < B1
 
     def _hit(self, req: Request) -> None:
-        node, tag = self._where[req.key]
-        q = self.t1 if tag == "t1" else self.t2
+        node = self._where[req.key]
+        q = self.t1 if node.data == T1 else self.t2
         q.unlink(node)
         if node.size != req.size:
             self.used += req.size - node.size
             node.size = req.size
+        node.data = T2
         self.t2.push_mru(node)
-        self._where[req.key] = (node, "t2")
         while self.used > self.capacity and (len(self.t1) + len(self.t2)) > 1:
             self._replace(req, in_b2=False)
 
     def _miss(self, req: Request) -> None:
-        entry = self._where.get(req.key)
-        if entry is not None and entry[1] == "b1":
+        node = self._where.get(req.key)
+        if node is not None and node.data == B1:
             # Ghost hit in B1: grow p (favour recency).
-            node, _ = entry
             delta = max(node.size, self.b2.bytes // max(len(self.b1), 1))
             self.p = min(self.p + delta, self.capacity)
             self.b1.unlink(node)
             self._make_room(req, in_b2=False)
             node.size = req.size
+            node.data = T2
             self.t2.push_mru(node)
-            self._where[req.key] = (node, "t2")
             self.used += req.size
-        elif entry is not None and entry[1] == "b2":
+        elif node is not None and node.data == B2:
             # Ghost hit in B2: shrink p (favour frequency).
-            node, _ = entry
             delta = max(node.size, self.b1.bytes // max(len(self.b2), 1))
             self.p = max(self.p - delta, 0)
             self.b2.unlink(node)
             self._make_room(req, in_b2=True)
             node.size = req.size
+            node.data = T2
             self.t2.push_mru(node)
-            self._where[req.key] = (node, "t2")
             self.used += req.size
         else:
             # Cold miss: admit into T1.
             self._make_room(req, in_b2=False)
             node = Node(req.key, req.size)
+            node.data = T1
             self.t1.push_mru(node)
-            self._where[req.key] = (node, "t1")
+            self._where[req.key] = node
             self.used += req.size
             self._ghost_trim()
 

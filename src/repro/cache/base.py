@@ -143,6 +143,28 @@ class CachePolicy(ABC):
         """Public residency probe (no state change)."""
         return self._lookup(key)
 
+    def replay(self, requests, out: Optional[list] = None) -> None:
+        """Process a whole request sequence (the engine's bulk hot path).
+
+        Equivalent to calling :meth:`request` once per element, but with the
+        per-request dispatch hoisted out of the loop.  When ``out`` is given,
+        the per-request hit/miss booleans are appended to it (the golden-trace
+        tests use this to pin the exact decision sequence).  Aggregate
+        outcomes are read from :attr:`stats` deltas.
+
+        Subclasses may override with a faster loop **only if** it stays
+        bit-identical to the per-request path — the equivalence suite in
+        ``tests/sim/test_golden_traces.py`` enforces this.
+        """
+        request = self.request
+        if out is None:
+            for req in requests:
+                request(req)
+        else:
+            append = out.append
+            for req in requests:
+                append(request(req))
+
     # -- introspection ----------------------------------------------------------
     def __len__(self) -> int:
         """Number of resident objects (subclasses with queues override)."""
@@ -259,6 +281,153 @@ class QueueCache(CachePolicy):
 
     def __len__(self) -> int:
         return len(self.index)
+
+    # -- bulk replay fast path -------------------------------------------------
+    def _fast_replay_eligible(self) -> bool:
+        """Whether this instance runs the stock template end to end.
+
+        The inlined loop in :meth:`replay` reproduces the *default*
+        ``request``/``_hit``/``_miss``/eviction plumbing with all state held
+        in locals; any override could observe stale instance state mid-loop,
+        so the fast loop only engages when every overridable piece is the
+        base-class original (pure LRU).  Everything else falls back to the
+        generic bound-method loop.
+        """
+        cls = type(self)
+        return (
+            cls.request is CachePolicy.request
+            and cls._lookup is QueueCache._lookup
+            and cls._hit is QueueCache._hit
+            and cls._miss is QueueCache._miss
+            and cls._make_room is QueueCache._make_room
+            and cls.evict_node is QueueCache.evict_node
+            and cls._insert_position is QueueCache._insert_position
+            and cls._on_hit is QueueCache._on_hit
+            and cls._on_evict is QueueCache._on_evict
+            and cls._on_insert is QueueCache._on_insert
+            and cls._choose_victim is QueueCache._choose_victim
+        )
+
+    def replay(self, requests, out: Optional[list] = None) -> None:
+        """Bulk replay; bit-identical to per-request :meth:`request` calls.
+
+        For the default-template case (classic LRU) the whole
+        lookup→promote / make-room→insert cycle is inlined into one loop:
+        no method dispatch, queue pointers spliced directly, counters
+        accumulated in locals and folded back into ``stats``/``queue`` state
+        once at the end.  This is the ~3× engine speedup the benchmark
+        subsystem tracks; the golden-trace suite pins its equivalence.
+        """
+        if not self._fast_replay_eligible():
+            return CachePolicy.replay(self, requests, out)
+        index = self.index
+        index_get = index.get
+        queue = self.queue
+        sentinel = queue._sentinel
+        capacity = self.capacity
+        node_cls = Node
+        append = out.append if out is not None else None
+        # Loop-local mirrors of instance state, folded back after the loop.
+        used = self.used
+        qbytes = queue.bytes
+        count = queue._count
+        hits = misses = bytes_hit = bytes_missed = evictions = bypasses = 0
+        # Evicted nodes are recycled for subsequent inserts: a steady-state
+        # replay then allocates ~zero objects per request.  Pooled nodes are
+        # unreachable (removed from the index) so reuse is unobservable.
+        pool: list = []
+        pool_pop = pool.pop
+        pool_append = pool.append
+        for req in requests:
+            key = req.key
+            size = req.size
+            node = index_get(key)
+            if node is not None:
+                # Hit: account, bump the residency token, splice to MRU.
+                hits += 1
+                bytes_hit += size
+                node.hit_token += 1
+                if node.size != size:
+                    d = size - node.size
+                    used += d
+                    qbytes += d
+                    node.size = size
+                prev = node.prev
+                nxt = node.next
+                prev.next = nxt
+                nxt.prev = prev
+                head = sentinel.next
+                node.prev = sentinel
+                node.next = head
+                head.prev = node
+                sentinel.next = node
+                # A grown object may have pushed the cache over capacity.
+                while used > capacity and index:
+                    victim = sentinel.prev
+                    p = victim.prev
+                    p.next = sentinel
+                    sentinel.prev = p
+                    count -= 1
+                    qbytes -= victim.size
+                    del index[victim.key]
+                    used -= victim.size
+                    evictions += 1
+                    pool_append(victim)
+                if append is not None:
+                    append(True)
+            else:
+                misses += 1
+                bytes_missed += size
+                if size > capacity:
+                    bypasses += 1
+                else:
+                    while used + size > capacity and index:
+                        victim = sentinel.prev
+                        p = victim.prev
+                        p.next = sentinel
+                        sentinel.prev = p
+                        count -= 1
+                        qbytes -= victim.size
+                        del index[victim.key]
+                        used -= victim.size
+                        evictions += 1
+                        pool_append(victim)
+                    if pool:
+                        node = pool_pop()
+                        node.key = key
+                        node.size = size
+                        node.inserted_mru = True
+                        node.hit_token = 0
+                        node.data = None
+                        node.stamp = 0
+                    else:
+                        node = node_cls(key, size)
+                    head = sentinel.next
+                    node.prev = sentinel
+                    node.next = head
+                    head.prev = node
+                    sentinel.next = node
+                    count += 1
+                    qbytes += size
+                    index[key] = node
+                    used += size
+                if append is not None:
+                    append(False)
+        # Cut leftover pooled nodes loose so they don't pin ring neighbours.
+        for n in pool:
+            n.prev = None
+            n.next = None
+        self.used = used
+        self.clock += hits + misses
+        queue.bytes = qbytes
+        queue._count = count
+        st = self.stats
+        st.hits += hits
+        st.misses += misses
+        st.bytes_hit += bytes_hit
+        st.bytes_missed += bytes_missed
+        st.evictions += evictions
+        st.bypasses += bypasses
 
     def resident_keys(self) -> list:
         """Keys MRU → LRU (diagnostics / tests)."""

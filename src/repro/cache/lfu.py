@@ -61,7 +61,9 @@ class LFUCache(CachePolicy):
             self.used += req.size - e.size
             e.size = req.size
         self._bump(e)
-        while self.used > self.capacity and len(self._entries) > 1:
+        # A grown object may overflow the cache; like LRU, keep evicting
+        # until the budget holds — even the just-hit object itself leaves.
+        while self.used > self.capacity and self._entries:
             self._evict_one()
 
     def _miss(self, req: Request) -> None:

@@ -72,27 +72,32 @@ class DIPCache(QueueCache):
     _DUEL_MOD = 32
     _PSEL_MAX = 1024
 
+    #: Dueling-group tags (ints — this runs once per miss on the hot path).
+    LRU_LEADER = 0
+    BIP_LEADER = 1
+    FOLLOWER = 2
+
     def __init__(self, capacity: int, epsilon: float = 1 / 32, rng: Optional[random.Random] = None):
         super().__init__(capacity)
         self.epsilon = epsilon
         self.rng = rng or random.Random(0)
         self.psel = self._PSEL_MAX // 2
 
-    def _group(self, key: int) -> str:
+    def _group(self, key: int) -> int:
         h = hash(key) % self._DUEL_MOD
         if h == 0:
-            return "lru_leader"
+            return self.LRU_LEADER
         if h == 1:
-            return "bip_leader"
-        return "follower"
+            return self.BIP_LEADER
+        return self.FOLLOWER
 
     def _insert_position(self, req: Request) -> int:
         g = self._group(req.key)
-        if g == "lru_leader":
+        if g == self.LRU_LEADER:
             # A miss for an LRU-leader key is evidence against pure LRU.
             self.psel = min(self.psel + 1, self._PSEL_MAX)
             return MRU_POS
-        if g == "bip_leader":
+        if g == self.BIP_LEADER:
             self.psel = max(self.psel - 1, 0)
             return MRU_POS if self.rng.random() < self.epsilon else LRU_POS
         # Follower: PSEL above midpoint means BIP is losing fewer requests.

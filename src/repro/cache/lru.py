@@ -15,7 +15,10 @@ class LRUCache(QueueCache):
     """Classic size-aware LRU.
 
     All three hooks are the :class:`QueueCache` defaults; the class exists to
-    give the baseline a name and a stable import point.
+    give the baseline a name and a stable import point.  Because nothing is
+    overridden, bulk replay takes the fully-inlined fast loop in
+    :meth:`QueueCache.replay` — LRU is the engine benchmark's headline
+    policy for exactly that reason.
     """
 
     name = "LRU"

@@ -171,25 +171,55 @@ class LinkedQueue:
         return self.unlink(n)  # type: ignore[arg-type]
 
     def move_to_mru(self, node: Node) -> None:
-        """Classic LRU promotion: unlink and re-insert at the head."""
-        self.unlink(node)
-        self.push_mru(node)
+        """Classic LRU promotion: splice the node out and re-link at the head.
+
+        Implemented as a direct 8-pointer splice rather than
+        ``unlink``+``push_mru`` — this runs once per cache hit in every
+        LRU-family policy, so the two saved method calls (and the redundant
+        count/bytes churn) are measurable on the replay hot path.
+        """
+        prev = node.prev
+        nxt = node.next
+        prev.next = nxt  # type: ignore[union-attr]
+        nxt.prev = prev  # type: ignore[union-attr]
+        s = self._sentinel
+        head = s.next
+        node.prev = s
+        node.next = head
+        head.prev = node  # type: ignore[union-attr]
+        s.next = node
 
     def move_to_lru(self, node: Node) -> None:
         """Demote to the tail (used by LIP-style hit handling variants)."""
-        self.unlink(node)
-        self.push_lru(node)
+        prev = node.prev
+        nxt = node.next
+        prev.next = nxt  # type: ignore[union-attr]
+        nxt.prev = prev  # type: ignore[union-attr]
+        s = self._sentinel
+        tail = s.prev
+        node.next = s
+        node.prev = tail
+        tail.next = node  # type: ignore[union-attr]
+        s.prev = node
 
     def promote_one(self, node: Node) -> None:
         """PIPP promotion: swap the node with its toward-MRU neighbour.
 
-        A node already at the MRU end stays put.  O(1).
+        A node already at the MRU end stays put.  O(1) pointer splice.
         """
         prev = node.prev
         if prev is self._sentinel or prev is None:
             return
-        self.unlink(node)
-        self.insert_before(node, prev)
+        # Swap ``prev`` and ``node`` in place: before = (a, prev, node, b),
+        # after = (a, node, prev, b).  No count/bytes change.
+        a = prev.prev
+        b = node.next
+        a.next = node  # type: ignore[union-attr]
+        node.prev = a
+        node.next = prev
+        prev.prev = node
+        prev.next = b
+        b.prev = prev  # type: ignore[union-attr]
 
     def keys(self) -> list:
         """Snapshot of keys MRU → LRU.  O(n); diagnostics only."""

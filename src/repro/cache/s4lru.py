@@ -11,7 +11,7 @@ repeatedly to reach protection, which gives natural scan resistance.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.cache.base import CachePolicy
 from repro.cache.queue import LinkedQueue, Node
@@ -21,7 +21,12 @@ __all__ = ["S4LRUCache", "SegmentedLRUCache"]
 
 
 class SegmentedLRUCache(CachePolicy):
-    """Generalised segmented LRU with ``levels`` equal-byte segments."""
+    """Generalised segmented LRU with ``levels`` equal-byte segments.
+
+    The segment index rides in the intrusive node's ``stamp`` slot, so the
+    lookup map is a plain ``key -> node`` dict — promotions and spills are
+    an int store instead of a fresh ``(node, level)`` tuple per transition.
+    """
 
     name = "SLRU"
 
@@ -32,7 +37,7 @@ class SegmentedLRUCache(CachePolicy):
         self.levels = levels
         self.seg_capacity = capacity // levels
         self.segments: List[LinkedQueue] = [LinkedQueue() for _ in range(levels)]
-        self._where: Dict[int, Tuple[Node, int]] = {}
+        self._where: Dict[int, Node] = {}
 
     def _lookup(self, key: int) -> bool:
         return key in self._where
@@ -41,10 +46,11 @@ class SegmentedLRUCache(CachePolicy):
         """Cascade overflow from ``level`` down to eviction at L0."""
         for lv in range(level, 0, -1):
             seg = self.segments[lv]
+            below = self.segments[lv - 1]
             while seg.bytes > self.seg_capacity and len(seg):
                 node = seg.pop_lru()
-                self.segments[lv - 1].push_mru(node)
-                self._where[node.key] = (node, lv - 1)
+                node.stamp = lv - 1
+                below.push_mru(node)
         seg0 = self.segments[0]
         # L0 absorbs all spill; evict its tail until the *total* fits.
         while self.used > self.capacity and len(seg0):
@@ -54,22 +60,23 @@ class SegmentedLRUCache(CachePolicy):
             self.stats.evictions += 1
 
     def _hit(self, req: Request) -> None:
-        node, level = self._where[req.key]
-        self.segments[level].unlink(node)
+        node = self._where[req.key]
+        self.segments[node.stamp].unlink(node)
         if node.size != req.size:
             self.used += req.size - node.size
             node.size = req.size
-        up = min(level + 1, self.levels - 1)
+        up = min(node.stamp + 1, self.levels - 1)
+        node.stamp = up
         self.segments[up].push_mru(node)
-        self._where[req.key] = (node, up)
         self._spill(up)
         # A size increase may have pushed total over capacity with empty L0.
         self._enforce_total()
 
     def _miss(self, req: Request) -> None:
         node = Node(req.key, req.size)
+        node.stamp = 0
         self.segments[0].push_mru(node)
-        self._where[req.key] = (node, 0)
+        self._where[req.key] = node
         self.used += req.size
         self._spill(0)
         self._enforce_total()

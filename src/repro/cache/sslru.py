@@ -14,13 +14,17 @@ Fig 10/11 comparisons.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.cache.base import CachePolicy
 from repro.cache.queue import LinkedQueue, Node
 from repro.sim.request import Request
 
 __all__ = ["SSLRUCache"]
+
+#: Segment tags stored in ``Node.stamp``.
+_PROBATION = 0
+_PROTECTED = 1
 
 
 class _OnlineLogit:
@@ -49,7 +53,13 @@ class _OnlineLogit:
 
 
 class SSLRUCache(CachePolicy):
-    """Two-segment SLRU with learned insertion-segment selection."""
+    """Two-segment SLRU with learned insertion-segment selection.
+
+    The resident segment rides in the intrusive node's ``stamp`` slot
+    (``_PROBATION``/``_PROTECTED``); ``_where`` maps ``key -> node`` with no
+    per-transition tuple allocation.  ``Node.data`` keeps the insertion-time
+    feature vector for eviction-outcome training.
+    """
 
     name = "SS-LRU"
 
@@ -58,7 +68,7 @@ class SSLRUCache(CachePolicy):
         self.protected_cap = int(capacity * protected_frac)
         self.probation = LinkedQueue()
         self.protected = LinkedQueue()
-        self._where: Dict[int, Tuple[Node, str]] = {}
+        self._where: Dict[int, Node] = {}
         self._freq: Dict[int, int] = {}
         self._last: Dict[int, int] = {}
         self.model = _OnlineLogit(3)
@@ -78,14 +88,14 @@ class SSLRUCache(CachePolicy):
         return key in self._where
 
     def _hit(self, req: Request) -> None:
-        node, seg = self._where[req.key]
-        q = self.probation if seg == "probation" else self.protected
+        node = self._where[req.key]
+        q = self.probation if node.stamp == _PROBATION else self.protected
         q.unlink(node)
         if node.size != req.size:
             self.used += req.size - node.size
             node.size = req.size
+        node.stamp = _PROTECTED
         self.protected.push_mru(node)
-        self._where[req.key] = (node, "protected")
         self._freq[req.key] = self._freq.get(req.key, 0) + 1
         self._last[req.key] = self.clock
         self._demote()
@@ -98,12 +108,13 @@ class SSLRUCache(CachePolicy):
         node.data = x  # keep features for training at eviction time
         self._make_room(req.size)
         if self.model.predict(x) >= 0.5:
+            node.stamp = _PROTECTED
             self.protected.push_mru(node)
-            self._where[req.key] = (node, "protected")
         else:
             node.inserted_mru = False
+            node.stamp = _PROBATION
             self.probation.push_mru(node)
-            self._where[req.key] = (node, "probation")
+        self._where[req.key] = node
         self.used += req.size
         self._freq[req.key] = self._freq.get(req.key, 0) + 1
         self._last[req.key] = self.clock
@@ -113,8 +124,8 @@ class SSLRUCache(CachePolicy):
         """Spill protected overflow into probation (classic SLRU demotion)."""
         while self.protected.bytes > self.protected_cap and len(self.protected):
             node = self.protected.pop_lru()
+            node.stamp = _PROBATION
             self.probation.push_mru(node)
-            self._where[node.key] = (node, "probation")
 
     def _make_room(self, need: int) -> None:
         while self.used + need > self.capacity and self._where:

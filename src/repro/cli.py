@@ -1,15 +1,17 @@
 """Command-line interface.
 
-Four subcommands mirror the library's workflow::
+Five subcommands mirror the library's workflow::
 
     python -m repro simulate  --policy SCIP --workload CDN-T --fraction 0.02
     python -m repro experiment fig8 [--scale bench]
     python -m repro workload   --name CDN-W -n 50000 -o cdnw.tr [--analyze]
     python -m repro report     [--scale bench] -o EXPERIMENTS.md
+    python -m repro bench      [--quick] [-o BENCH_engine.json]
 
 `simulate` replays one policy on one workload; `experiment` prints a paper
 table; `workload` generates/analyses/saves traces; `report` regenerates the
-full paper-vs-measured document.
+full paper-vs-measured document; `bench` measures engine replay throughput
+(legacy vs fast path) and persists the perf trajectory.
 """
 
 from __future__ import annotations
@@ -104,6 +106,24 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import format_bench, run_engine_bench
+
+    doc = run_engine_bench(
+        policies=[p.strip() for p in args.policies.split(",") if p.strip()],
+        workload=args.workload,
+        n_requests=args.requests,
+        fraction=args.fraction,
+        repeats=args.repeats,
+        output=args.output,
+        quick=args.quick,
+    )
+    print(format_bench(doc))
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -138,6 +158,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write LRB-format trace here")
     p.add_argument("--analyze", action="store_true", help="run the Figure 1 analysis")
     p.set_defaults(func=_cmd_workload)
+
+    p = sub.add_parser("bench", help="engine replay micro-benchmark (legacy vs fast path)")
+    p.add_argument("--policies", default="LRU,ARC,SCIP", help="comma-separated policy names")
+    p.add_argument("--workload", default="CDN-T", choices=["CDN-T", "CDN-W", "CDN-A"])
+    p.add_argument("-n", "--requests", type=int, default=200_000)
+    p.add_argument("--fraction", type=float, default=0.02, help="cache size as WSS fraction")
+    p.add_argument("--repeats", type=int, default=3, help="timing repeats, best-of")
+    p.add_argument("-o", "--output", default="BENCH_engine.json", help="result JSON path ('' to skip)")
+    p.add_argument("--quick", action="store_true", help="CI smoke mode: 30k requests, 1 repeat")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p.add_argument("-o", "--output", default="EXPERIMENTS.md")

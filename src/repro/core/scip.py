@@ -63,7 +63,7 @@ from typing import Optional
 from repro.cache.base import LRU_POS, MRU_POS, QueueCache
 from repro.cache.queue import Node
 from repro.core.history import HistoryList
-from repro.core.learning import LearningRateController
+from repro.core.learning import LAMBDA_MAX, LAMBDA_MIN, LearningRateController
 from repro.core.mab import PositionBandit
 from repro.sim.request import Request
 
@@ -403,3 +403,8 @@ class SCIPCache(QueueCache):
         self.h_m.check_invariants()
         self.h_l.check_invariants()
         assert abs(self.bandit.w_mru + self.bandit.w_lru - 1.0) < 1e-9
+        assert 0.0 <= self.bandit.w_mru <= 1.0 and 0.0 <= self.bandit.w_lru <= 1.0
+        assert LAMBDA_MIN <= self.lr.value <= LAMBDA_MAX, self.lr.value
+        # FIFO history lists must respect their byte budgets at all times.
+        assert self.h_m.bytes <= self.h_m.capacity or self.h_m.capacity == 0
+        assert self.h_l.bytes <= self.h_l.capacity or self.h_l.capacity == 0

@@ -1,5 +1,14 @@
-"""Resource meters for the Figure 9 / Figure 11 comparisons."""
+"""Performance subsystem: resource meters (Figure 9 / Figure 11) and the
+engine replay micro-benchmark with its persisted perf trajectory."""
 
+from repro.perf.bench import bench_registry, format_bench, run_engine_bench
 from repro.perf.meters import ResourceProfile, profile_many, profile_policy
 
-__all__ = ["ResourceProfile", "profile_policy", "profile_many"]
+__all__ = [
+    "ResourceProfile",
+    "profile_policy",
+    "profile_many",
+    "run_engine_bench",
+    "format_bench",
+    "bench_registry",
+]

@@ -1,0 +1,184 @@
+"""Engine micro-benchmark: replay throughput with a persisted trajectory.
+
+``repro bench`` (or :func:`run_engine_bench`) replays a fixed-seed synthetic
+workload through a small policy set on **both** engine paths:
+
+* *legacy* — the per-request rich loop (``MetricsCollector.record`` around
+  every ``policy.request`` call), which is exactly the pre-optimization
+  replay engine, and
+* *fast* — the slim bulk-``replay`` loop the engine now uses by default.
+
+For every policy it reports requests/second on each path, the speedup, and
+asserts the two paths produced **identical** miss ratios — a hot run of the
+golden-trace gate.  Results are written to ``BENCH_engine.json`` so future
+optimization PRs have a before/after perf trajectory to extend, not just a
+point measurement.
+
+The headline number is the LRU speedup: LRU is the pure engine hot path
+(dict probe + pointer splice, no policy-specific work), so it isolates what
+the replay machinery itself costs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+from repro.sim.engine import simulate
+from repro.sim.request import Trace
+
+__all__ = [
+    "DEFAULT_BENCH_POLICIES",
+    "bench_registry",
+    "run_engine_bench",
+    "format_bench",
+]
+
+#: Policy set replayed by default: the engine baseline, a multi-chain
+#: heuristic, and the paper's learned policy.
+DEFAULT_BENCH_POLICIES = ("LRU", "ARC", "SCIP")
+
+#: Schema version of ``BENCH_engine.json``; bump on layout changes.
+BENCH_SCHEMA = 1
+
+
+def bench_registry() -> Dict[str, Callable[[int], object]]:
+    """Name → factory map covering every benchable policy (heuristics from
+    :data:`repro.cache.POLICIES` plus the paper's SCIP/SCI)."""
+    from repro.cache import POLICIES
+    from repro.core.sci import SCICache
+    from repro.core.scip import SCIPCache
+
+    registry: Dict[str, Callable[[int], object]] = dict(POLICIES)
+    registry["SCIP"] = SCIPCache
+    registry["SCI"] = SCICache
+    return registry
+
+
+def _best_tps(
+    factory: Callable[[int], object],
+    trace: Trace,
+    capacity: int,
+    repeats: int,
+    fast: bool,
+) -> tuple:
+    """Best-of-``repeats`` throughput; returns (tps, miss_ratio, byte_mr)."""
+    best = 0.0
+    miss_ratio = byte_mr = None
+    for _ in range(max(repeats, 1)):
+        res = simulate(factory(capacity), trace, fast=fast)
+        best = max(best, res.tps)
+        if miss_ratio is None:
+            miss_ratio = res.miss_ratio
+            byte_mr = res.byte_miss_ratio
+        elif res.miss_ratio != miss_ratio:  # pragma: no cover - determinism gate
+            raise AssertionError(
+                f"non-deterministic replay: miss_ratio {res.miss_ratio!r} != {miss_ratio!r}"
+            )
+    return best, miss_ratio, byte_mr
+
+
+def run_engine_bench(
+    policies: Iterable[str] = DEFAULT_BENCH_POLICIES,
+    workload: str = "CDN-T",
+    n_requests: int = 200_000,
+    fraction: float = 0.02,
+    repeats: int = 3,
+    output: Optional[str] = "BENCH_engine.json",
+    quick: bool = False,
+    registry: Optional[Mapping[str, Callable[[int], object]]] = None,
+) -> dict:
+    """Run the engine micro-benchmark and (optionally) persist the result.
+
+    Parameters
+    ----------
+    policies:
+        Policy names to replay (must exist in :func:`bench_registry`).
+    workload, n_requests, fraction:
+        Fixed-seed synthetic workload and cache size (fraction of its WSS).
+    repeats:
+        Timing repeats per (policy, path); best-of is reported.
+    output:
+        Path for ``BENCH_engine.json``; ``None`` skips writing.
+    quick:
+        Smoke mode for CI: 30 k requests, one repeat (~seconds).
+    """
+    from repro.traces.cdn import make_workload
+
+    if quick:
+        n_requests = min(n_requests, 30_000)
+        repeats = 1
+    reg = dict(registry) if registry is not None else bench_registry()
+    unknown = [p for p in policies if p not in reg]
+    if unknown:
+        raise KeyError(f"unknown bench policies {unknown}; available: {sorted(reg)}")
+
+    trace = make_workload(workload, n_requests=n_requests)
+    capacity = max(int(trace.working_set_size * fraction), 1)
+
+    results: Dict[str, dict] = {}
+    for name in policies:
+        factory = reg[name]
+        tps_legacy, mr_legacy, bmr_legacy = _best_tps(
+            factory, trace, capacity, repeats, fast=False
+        )
+        tps_fast, mr_fast, bmr_fast = _best_tps(
+            factory, trace, capacity, repeats, fast=True
+        )
+        if mr_fast != mr_legacy or bmr_fast != bmr_legacy:
+            raise AssertionError(
+                f"{name}: fast path drifted from legacy path "
+                f"(miss_ratio {mr_fast!r} vs {mr_legacy!r}, "
+                f"byte_miss_ratio {bmr_fast!r} vs {bmr_legacy!r})"
+            )
+        results[name] = {
+            "tps_legacy": tps_legacy,
+            "tps_fast": tps_fast,
+            "speedup": tps_fast / tps_legacy if tps_legacy > 0 else float("inf"),
+            "miss_ratio": mr_fast,
+            "byte_miss_ratio": bmr_fast,
+        }
+
+    headline_policy = "LRU" if "LRU" in results else next(iter(results))
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "workload": workload,
+        "n_requests": len(trace),
+        "cache_fraction": fraction,
+        "capacity_bytes": capacity,
+        "repeats": repeats,
+        "results": results,
+        "headline": {
+            "policy": headline_policy,
+            "speedup": results[headline_policy]["speedup"],
+            "tps_fast": results[headline_policy]["tps_fast"],
+            "tps_legacy": results[headline_policy]["tps_legacy"],
+        },
+    }
+    if output:
+        with open(output, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+    return doc
+
+
+def format_bench(doc: dict) -> str:
+    """Human-readable table of a bench document."""
+    lines = [
+        f"engine bench — {doc['workload']} × {doc['n_requests']:,} requests, "
+        f"cache {doc['cache_fraction']:.0%} of WSS "
+        f"({doc['capacity_bytes'] / 1e6:.1f} MB), best of {doc['repeats']}",
+        f"{'policy':<8} {'legacy req/s':>14} {'fast req/s':>14} {'speedup':>9} {'miss_ratio':>11}",
+    ]
+    for name, r in doc["results"].items():
+        lines.append(
+            f"{name:<8} {r['tps_legacy']:>14,.0f} {r['tps_fast']:>14,.0f} "
+            f"{r['speedup']:>8.2f}x {r['miss_ratio']:>11.4f}"
+        )
+    h = doc["headline"]
+    lines.append(f"headline ({h['policy']}): {h['speedup']:.2f}x")
+    return "\n".join(lines)

@@ -4,8 +4,22 @@
 owned metrics plus resource measurements (wall-clock TPS, simulated
 metadata footprint, CPU time) for the Figure 9/11 comparisons.
 
-Policies that need future knowledge (Belady) require an annotated trace;
-the engine checks and annotates on demand.
+Two replay paths share one result type:
+
+* the **fast path** (default) drives the policy's bulk :meth:`~repro.cache.
+  base.CachePolicy.replay` loop — no per-request callback, no per-request
+  allocation; aggregate metrics come from ``policy.stats`` deltas taken at
+  the warm-up boundary and at the end, then folded into a
+  :class:`MetricsCollector` so downstream consumers see the same shape;
+* the **rich path** keeps the original per-request ``record(request(req))``
+  loop, and is selected whenever interval series or ``tracemalloc`` memory
+  metering are requested (the Figure 9/11 resource benches) or forced with
+  ``fast=False``.
+
+Both paths produce bit-identical hit/miss decisions and aggregate metrics —
+``tests/sim/test_golden_traces.py`` pins this.  Policies that need future
+knowledge (Belady) require an annotated trace; the engine checks and
+annotates on demand.
 """
 
 from __future__ import annotations
@@ -68,6 +82,7 @@ def simulate(
     interval: int = 0,
     measure_memory: bool = False,
     needs_future: Optional[bool] = None,
+    fast: Optional[bool] = None,
 ) -> SimResult:
     """Replay ``trace`` through ``policy`` and collect metrics.
 
@@ -78,19 +93,95 @@ def simulate(
     warmup:
         Requests excluded from the aggregate metrics.
     interval:
-        Interval-series resolution (0 = no series).
+        Interval-series resolution (0 = no series; forces the rich path).
     measure_memory:
         Enable ``tracemalloc`` peak tracking (slows the run ~2×; used only
-        by the Figure 9/11 benches).
+        by the Figure 9/11 benches; forces the rich path).
     needs_future:
         Force (or skip) next-access annotation.  Default: annotate when the
         policy is an oracle (name contains "Belady") or LRB-like.
+    fast:
+        Force the slim bulk-replay loop (``True``) or the per-request rich
+        loop (``False``).  Default ``None`` picks fast whenever no interval
+        series or memory metering was requested.  Both paths are
+        decision-identical; the benchmark subsystem measures them against
+        each other.
     """
     if needs_future is None:
         needs_future = "belady" in policy.name.lower() or "lrb" in policy.name.lower()
     if needs_future and not trace.annotated:
         annotate_next_access(trace)
+    if fast is None:
+        fast = interval == 0 and not measure_memory
+    if fast and interval == 0 and not measure_memory:
+        return _simulate_fast(policy, trace, warmup)
+    return _simulate_rich(policy, trace, warmup, interval, measure_memory)
 
+
+def _finish(
+    policy: "CachePolicy",
+    trace: Trace,
+    metrics: MetricsCollector,
+    elapsed: float,
+    cpu: float,
+    peak: int,
+) -> SimResult:
+    """Assemble the shared result record."""
+    return SimResult(
+        policy=policy.name,
+        trace=trace.name,
+        cache_bytes=policy.capacity,
+        requests=len(trace),
+        miss_ratio=metrics.miss_ratio,
+        byte_miss_ratio=metrics.byte_miss_ratio,
+        tps=len(trace) / elapsed if elapsed > 0 else float("inf"),
+        cpu_seconds=cpu,
+        metadata_bytes=policy.metadata_bytes(),
+        peak_alloc_bytes=peak,
+        metrics=metrics,
+        policy_obj=policy,
+    )
+
+
+def _simulate_fast(policy: "CachePolicy", trace: Trace, warmup: int) -> SimResult:
+    """Slim inner loop: bulk replay, metrics from stats deltas.
+
+    The policy's own :class:`~repro.cache.base.CacheStats` counters are the
+    single source of truth; the engine snapshots them at the start and at
+    the warm-up boundary, so the aggregate metrics cover exactly the
+    post-warm-up requests — the same contract as
+    :meth:`MetricsCollector.record` with ``warmup`` set.
+    """
+    requests = trace.requests if isinstance(trace, Trace) else list(trace)
+    st = policy.stats
+    t_cpu0 = time.process_time()
+    t0 = time.perf_counter()
+    if warmup > 0:
+        policy.replay(requests[:warmup])
+    h0, m0 = st.hits, st.misses
+    bh0, bm0 = st.bytes_hit, st.bytes_missed
+    policy.replay(requests[warmup:] if warmup > 0 else requests)
+    elapsed = time.perf_counter() - t0
+    cpu = time.process_time() - t_cpu0
+
+    metrics = MetricsCollector(warmup=warmup)
+    metrics._seen = len(requests)
+    metrics.hits = st.hits - h0
+    metrics.misses = st.misses - m0
+    metrics.requests = metrics.hits + metrics.misses
+    metrics.bytes_missed = st.bytes_missed - bm0
+    metrics.bytes_requested = (st.bytes_hit - bh0) + metrics.bytes_missed
+    return _finish(policy, trace, metrics, elapsed, cpu, peak=0)
+
+
+def _simulate_rich(
+    policy: "CachePolicy",
+    trace: Trace,
+    warmup: int,
+    interval: int,
+    measure_memory: bool,
+) -> SimResult:
+    """Per-request instrumented loop (interval series, memory metering)."""
     metrics = MetricsCollector(warmup=warmup, interval=interval)
     if measure_memory:
         tracemalloc.start()
@@ -107,18 +198,4 @@ def simulate(
         _, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
     metrics.flush()
-
-    return SimResult(
-        policy=policy.name,
-        trace=trace.name,
-        cache_bytes=policy.capacity,
-        requests=len(trace),
-        miss_ratio=metrics.miss_ratio,
-        byte_miss_ratio=metrics.byte_miss_ratio,
-        tps=len(trace) / elapsed if elapsed > 0 else float("inf"),
-        cpu_seconds=cpu,
-        metadata_bytes=policy.metadata_bytes(),
-        peak_alloc_bytes=peak,
-        metrics=metrics,
-        policy_obj=policy,
-    )
+    return _finish(policy, trace, metrics, elapsed, cpu, peak)

@@ -93,6 +93,13 @@ class Trace:
     def __getitem__(self, idx: int) -> Request:
         return self._requests[idx]
 
+    @property
+    def requests(self) -> List[Request]:
+        """The backing request list (the engine's bulk-replay loops iterate
+        this directly rather than paying a generator per request).  Treat as
+        read-only."""
+        return self._requests
+
     # -- statistics --------------------------------------------------------
     def _scan(self) -> None:
         sizes: dict = {}

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.cache.arc import ARCCache
+from repro.cache.arc import B1, T1, T2, ARCCache
 from repro.cache.fifo import FIFOCache
 from repro.cache.lfu import LFUCache
 from repro.cache.lru import LRUCache
@@ -76,16 +76,16 @@ class TestARC:
     def test_second_access_moves_to_t2(self):
         c = ARCCache(100)
         feed(c, [1])
-        assert c._where[1][1] == "t1"
+        assert c._where[1].data == T1
         feed(c, [1])
-        assert c._where[1][1] == "t2"
+        assert c._where[1].data == T2
 
     def test_ghost_hit_adapts_p(self):
         c = ARCCache(40)
         feed(c, [1, 2, 3, 4, 5])  # overflow T1 → ghosts in B1
         p_before = c.p
         # Re-request an evicted key: ghost hit in B1 should raise p.
-        ghost_keys = [k for k, (n, tag) in c._where.items() if tag == "b1"]
+        ghost_keys = [k for k, n in c._where.items() if n.data == B1]
         assert ghost_keys, "expected B1 ghosts"
         c.request(Request(10, ghost_keys[0], 10))
         assert c.p > p_before

@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 from repro.cache.fifo import FIFOCache
 from repro.cache.lip import LIPCache
 from repro.cache.lru import LRUCache
+from repro.cache.queue import LinkedQueue, Node
 from repro.sim.request import Request
 
 streams = st.lists(
@@ -127,3 +128,113 @@ def test_lip_matches_reference(data, capacity):
     assert set(real.resident_keys()) == set(ref.sizes)
     # Order must match too: reference order is LRU→MRU.
     assert real.resident_keys() == list(reversed(ref.order))
+
+
+# -- intrusive queue vs naive list reference ----------------------------------
+#
+# The LinkedQueue is the hot-path workhorse (its splice methods are hand-
+# inlined in the replay loop), so its every operation is differentially
+# tested against the obvious reference: a plain Python list of keys ordered
+# MRU -> LRU.  Hypothesis drives arbitrary operation sequences; after every
+# single operation the full observable state (key order, length, byte count,
+# popped values) must match, and the link structure must pass the O(n)
+# structural audit at the end.
+
+#: (op, selector, size) triples; ``selector`` picks a resident node (mod
+#: length) for targeted ops, ``size`` the payload of newly created nodes.
+queue_ops = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 1_000), st.integers(1, 64)),
+    max_size=300,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(queue_ops)
+def test_linked_queue_matches_list_reference(ops):
+    q = LinkedQueue()
+    nodes: dict = {}  # key -> linked Node
+    sizes: dict = {}  # key -> size
+    ref: list = []  # keys, index 0 = MRU end
+    next_key = 0
+
+    for op, sel, size in ops:
+        if not ref and op in (2, 3, 4, 5, 6, 7):
+            op = 0  # nothing resident to target: fall back to an insert
+        if op == 0:  # push_mru
+            node = Node(next_key, size)
+            q.push_mru(node)
+            nodes[next_key] = node
+            sizes[next_key] = size
+            ref.insert(0, next_key)
+            next_key += 1
+        elif op == 1:  # push_lru
+            node = Node(next_key, size)
+            q.push_lru(node)
+            nodes[next_key] = node
+            sizes[next_key] = size
+            ref.append(next_key)
+            next_key += 1
+        elif op == 2:  # pop_lru
+            node = q.pop_lru()
+            expected = ref.pop()
+            assert node.key == expected
+            del nodes[expected], sizes[expected]
+        elif op == 3:  # pop_mru
+            node = q.pop_mru()
+            expected = ref.pop(0)
+            assert node.key == expected
+            del nodes[expected], sizes[expected]
+        elif op == 4:  # unlink arbitrary
+            key = ref[sel % len(ref)]
+            q.unlink(nodes[key])
+            ref.remove(key)
+            del nodes[key], sizes[key]
+        elif op == 5:  # move_to_mru
+            key = ref[sel % len(ref)]
+            q.move_to_mru(nodes[key])
+            ref.remove(key)
+            ref.insert(0, key)
+        elif op == 6:  # move_to_lru
+            key = ref[sel % len(ref)]
+            q.move_to_lru(nodes[key])
+            ref.remove(key)
+            ref.append(key)
+        elif op == 7:  # promote_one (PIPP): swap with toward-MRU neighbour
+            idx = sel % len(ref)
+            key = ref[idx]
+            q.promote_one(nodes[key])
+            if idx > 0:
+                ref[idx - 1], ref[idx] = ref[idx], ref[idx - 1]
+        elif op == 8:  # insert_before an anchor (or push_mru when empty)
+            node = Node(next_key, size)
+            if ref:
+                idx = sel % len(ref)
+                q.insert_before(node, nodes[ref[idx]])
+                ref.insert(idx, next_key)
+            else:
+                q.push_mru(node)
+                ref.insert(0, next_key)
+            nodes[next_key] = node
+            sizes[next_key] = size
+            next_key += 1
+        else:  # insert_after an anchor (or push_lru when empty)
+            node = Node(next_key, size)
+            if ref:
+                idx = sel % len(ref)
+                q.insert_after(node, nodes[ref[idx]])
+                ref.insert(idx + 1, next_key)
+            else:
+                q.push_lru(node)
+                ref.append(next_key)
+            nodes[next_key] = node
+            sizes[next_key] = size
+            next_key += 1
+
+        assert len(q) == len(ref)
+        assert q.bytes == sum(sizes[k] for k in ref)
+        assert q.keys() == ref
+        assert list(reversed([n.key for n in q.iter_lru()])) == ref
+        assert (q.head.key if q.head else None) == (ref[0] if ref else None)
+        assert (q.tail.key if q.tail else None) == (ref[-1] if ref else None)
+
+    q.check_invariants()

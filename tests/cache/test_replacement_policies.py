@@ -10,6 +10,7 @@ from repro.cache.lhd import LHDCache
 from repro.cache.lru import LRUCache
 from repro.cache.lruk import LRUKCache
 from repro.cache.s4lru import S4LRUCache, SegmentedLRUCache
+from repro.cache import sslru
 from repro.cache.sslru import SSLRUCache
 from repro.sim.request import Request
 
@@ -47,15 +48,15 @@ class TestS4LRU:
     def test_promotion_ladder(self):
         c = S4LRUCache(4_000)
         feed(c, [1])
-        assert c._where[1][1] == 0
+        assert c._where[1].stamp == 0
         feed(c, [1], t0=10)
-        assert c._where[1][1] == 1
+        assert c._where[1].stamp == 1
         feed(c, [1], t0=20)
-        assert c._where[1][1] == 2
+        assert c._where[1].stamp == 2
         feed(c, [1], t0=30)
-        assert c._where[1][1] == 3
+        assert c._where[1].stamp == 3
         feed(c, [1], t0=40)  # capped at the top segment
-        assert c._where[1][1] == 3
+        assert c._where[1].stamp == 3
 
     def test_spill_cascades_down(self):
         c = SegmentedLRUCache(400, levels=2)  # 200 B per segment
@@ -64,7 +65,7 @@ class TestS4LRU:
         for k in [1, 2, 3, 4, 5, 6, 7, 8]:
             feed(c, [k, k], size=30, t0=k * 10)
         assert c.used <= c.capacity
-        levels = {k: lvl for k, (_, lvl) in c._where.items()}
+        levels = {k: n.stamp for k, n in c._where.items()}
         assert 0 in set(levels.values()), "spill must repopulate the bottom segment"
         assert 1 in set(levels.values())
 
@@ -87,7 +88,7 @@ class TestSSLRU:
         c = SSLRUCache(1_000)
         feed(c, [1])
         feed(c, [1], t0=5)
-        assert c._where[1][1] == "protected"
+        assert c._where[1].stamp == sslru._PROTECTED
 
     def test_model_trains_on_evictions(self, zipf_trace):
         c = SSLRUCache(5_000)

@@ -1,0 +1,68 @@
+"""Smoke tests for the engine replay micro-benchmark subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    DEFAULT_BENCH_POLICIES,
+    bench_registry,
+    format_bench,
+    run_engine_bench,
+)
+
+
+def test_registry_covers_the_default_policy_set():
+    reg = bench_registry()
+    for name in DEFAULT_BENCH_POLICIES:
+        assert name in reg
+    assert "SCI" in reg  # the paper's insertion-only variant is benchable too
+
+
+def test_engine_bench_writes_a_versioned_document(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    doc = run_engine_bench(
+        policies=["LRU"], n_requests=5_000, repeats=1, output=str(out)
+    )
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk == doc
+    assert doc["schema"] == BENCH_SCHEMA
+    assert doc["workload"] == "CDN-T"
+    assert doc["capacity_bytes"] >= 1
+    r = doc["results"]["LRU"]
+    assert r["tps_legacy"] > 0 and r["tps_fast"] > 0
+    assert r["speedup"] == r["tps_fast"] / r["tps_legacy"]
+    assert 0.0 <= r["miss_ratio"] <= 1.0
+    assert doc["headline"]["policy"] == "LRU"
+    assert doc["headline"]["speedup"] == r["speedup"]
+
+
+def test_engine_bench_output_none_writes_nothing(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    doc = run_engine_bench(policies=["LRU"], n_requests=2_000, repeats=1, output=None)
+    assert list(tmp_path.iterdir()) == []
+    assert "LRU" in doc["results"]
+
+
+def test_engine_bench_rejects_unknown_policy():
+    with pytest.raises(KeyError, match="NOPE"):
+        run_engine_bench(policies=["NOPE"], output=None)
+
+
+def test_quick_mode_caps_the_workload():
+    doc = run_engine_bench(
+        policies=["LRU"], n_requests=500_000, repeats=5, output=None, quick=True
+    )
+    assert doc["repeats"] == 1
+    assert doc["n_requests"] < 50_000  # 30 k nominal, generator is approximate
+
+
+def test_format_bench_mentions_every_policy(tmp_path):
+    doc = run_engine_bench(policies=["LRU"], n_requests=2_000, repeats=1, output=None)
+    text = format_bench(doc)
+    assert "LRU" in text
+    assert "headline" in text

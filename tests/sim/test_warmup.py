@@ -1,0 +1,87 @@
+"""Warm-up exclusion semantics: warm-up requests must never leak into the
+aggregate metrics, on either engine path and through ``run_grid``.
+
+The reference computation is explicit: drive the policy yourself, snapshot
+its stats counters at the warm-up boundary, and compute the tail-only
+ratios from the deltas.  Both engine paths and the grid runner must agree
+with it exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.core.scip import SCIPCache
+from repro.sim.engine import simulate
+from repro.sim.runner import run_grid
+
+
+def _manual_tail_metrics(factory, trace, capacity, warmup):
+    """Ground truth: per-request loop with a stats snapshot at the boundary."""
+    policy = factory(capacity)
+    requests = trace.requests
+    for r in requests[:warmup]:
+        policy.request(r)
+    st = policy.stats
+    h0, m0, bh0, bm0 = st.hits, st.misses, st.bytes_hit, st.bytes_missed
+    for r in requests[warmup:]:
+        policy.request(r)
+    hits = st.hits - h0
+    misses = st.misses - m0
+    bytes_hit = st.bytes_hit - bh0
+    bytes_missed = st.bytes_missed - bm0
+    n = hits + misses
+    total_bytes = bytes_hit + bytes_missed
+    return {
+        "requests": n,
+        "miss_ratio": misses / n if n else 0.0,
+        "byte_miss_ratio": bytes_missed / total_bytes if total_bytes else 0.0,
+    }
+
+
+@pytest.mark.parametrize("factory", [LRUCache, SCIPCache], ids=["LRU", "SCIP"])
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "rich"])
+def test_simulate_excludes_warmup_from_aggregates(factory, fast, cdn_t_small):
+    trace = cdn_t_small
+    cap = max(int(trace.working_set_size * 0.02), 1)
+    warmup = len(trace) // 4
+    expected = _manual_tail_metrics(factory, trace, cap, warmup)
+
+    res = simulate(factory(cap), trace, warmup=warmup, fast=fast)
+    assert res.metrics.requests == expected["requests"] == len(trace) - warmup
+    assert res.miss_ratio == expected["miss_ratio"]
+    assert res.byte_miss_ratio == expected["byte_miss_ratio"]
+
+    # The warm-up window genuinely changes the answer (compulsory misses
+    # land inside it), so agreement above is not vacuous.
+    cold = simulate(factory(cap), trace, warmup=0, fast=fast)
+    assert cold.miss_ratio != res.miss_ratio
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "rich"])
+def test_simulate_with_full_trace_warmup_reports_nothing(fast, cdn_t_small):
+    trace = cdn_t_small
+    cap = max(int(trace.working_set_size * 0.02), 1)
+    res = simulate(LRUCache(cap), trace, warmup=len(trace), fast=fast)
+    assert res.metrics.requests == 0
+    assert res.miss_ratio == 0.0
+    assert res.byte_miss_ratio == 0.0
+
+
+def test_run_grid_warmup_frac_excludes_warmup(cdn_t_small):
+    trace = cdn_t_small
+    frac = 0.02
+    warmup_frac = 0.25
+    cap = max(int(trace.working_set_size * frac), 1)
+    warmup = int(len(trace) * warmup_frac)
+    expected = _manual_tail_metrics(LRUCache, trace, cap, warmup)
+
+    rows = run_grid({"LRU": LRUCache}, [trace], [frac], warmup_frac=warmup_frac)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["miss_ratio"] == expected["miss_ratio"]
+    assert row["byte_miss_ratio"] == expected["byte_miss_ratio"]
+
+    cold_rows = run_grid({"LRU": LRUCache}, [trace], [frac], warmup_frac=0.0)
+    assert cold_rows[0]["miss_ratio"] != row["miss_ratio"]
