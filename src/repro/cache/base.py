@@ -101,6 +101,12 @@ class CachePolicy(ABC):
     #: Human-readable policy name used in experiment tables; subclasses set it.
     name: str = "abstract"
 
+    #: Observability probe (:class:`repro.obs.probe.Probe`).  Class-level
+    #: ``None`` is the module-level no-op: hook points cost exactly one
+    #: ``if self._probe is not None`` branch until :meth:`attach_probe`
+    #: shadows this with an instance attribute.
+    _probe = None
+
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -142,6 +148,24 @@ class CachePolicy(ABC):
     def contains(self, key: int) -> bool:
         """Public residency probe (no state change)."""
         return self._lookup(key)
+
+    # -- observability -----------------------------------------------------------
+    def attach_probe(self, probe) -> None:
+        """Attach an observability probe (:class:`repro.obs.probe.Probe`).
+
+        Hook points (``admit``, ``evict``, policy-specific learner events)
+        start emitting; bulk-replay fast loops that bypass the hooks drop
+        back to the instrumented per-request path until :meth:`detach_probe`.
+        The decision sequence is unchanged either way — the golden-trace
+        suite pins replay-with-probe against the recorded traces.
+        """
+        self._probe = probe
+        if probe.now is None:
+            probe.now = lambda: self.clock
+
+    def detach_probe(self) -> None:
+        """Remove the probe; hook points return to the single-branch no-op."""
+        self._probe = None
 
     def replay(self, requests, out: Optional[list] = None) -> None:
         """Process a whole request sequence (the engine's bulk hot path).
@@ -253,6 +277,10 @@ class QueueCache(CachePolicy):
         self.index[req.key] = node
         self.used += req.size
         self._on_insert(node, req)
+        if self._probe is not None:
+            self._probe.emit(
+                "admit", key=req.key, size=req.size, mru=node.inserted_mru
+            )
 
     def _make_room(self, need: int) -> None:
         while self.used + need > self.capacity and self.index:
@@ -266,6 +294,14 @@ class QueueCache(CachePolicy):
         self.used -= node.size
         self.stats.evictions += 1
         self._on_evict(node)
+        if self._probe is not None:
+            self._probe.emit(
+                "evict",
+                key=node.key,
+                size=node.size,
+                hits=node.hit_token or 0,
+                mru=node.inserted_mru,
+            )
 
     def remove(self, key: int) -> Optional[Node]:
         """Silently remove a resident object (paper's ``C.REMOVE``): the node
@@ -292,7 +328,14 @@ class QueueCache(CachePolicy):
         so the fast loop only engages when every overridable piece is the
         base-class original (pure LRU).  Everything else falls back to the
         generic bound-method loop.
+
+        An attached probe also disqualifies the instance: the inlined loop
+        bypasses the ``admit``/``evict`` hook points, so tracing selects the
+        instrumented per-request path instead (decision-identical; the
+        bare loop itself stays branch-free).
         """
+        if self._probe is not None:
+            return False
         cls = type(self)
         return (
             cls.request is CachePolicy.request

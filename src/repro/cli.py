@@ -1,17 +1,22 @@
 """Command-line interface.
 
-Five subcommands mirror the library's workflow::
+Six subcommands mirror the library's workflow::
 
-    python -m repro simulate  --policy SCIP --workload CDN-T --fraction 0.02
+    python -m repro simulate  --policy SCIP --workload CDN-T --fraction 0.02 \\
+                              [--trace-out events.jsonl --obs-summary]
     python -m repro experiment fig8 [--scale bench]
     python -m repro workload   --name CDN-W -n 50000 -o cdnw.tr [--analyze]
     python -m repro report     [--scale bench] -o EXPERIMENTS.md
     python -m repro bench      [--quick] [-o BENCH_engine.json]
+    python -m repro obs        events.jsonl [--rows 24]
 
-`simulate` replays one policy on one workload; `experiment` prints a paper
-table; `workload` generates/analyses/saves traces; `report` regenerates the
-full paper-vs-measured document; `bench` measures engine replay throughput
-(legacy vs fast path) and persists the perf trajectory.
+`simulate` replays one policy on one workload (optionally recording a
+schema-versioned JSONL event stream, registry snapshots, and a run
+manifest); `experiment` prints a paper table; `workload`
+generates/analyses/saves traces; `report` regenerates the full
+paper-vs-measured document; `bench` measures engine replay throughput
+(legacy vs fast path) and persists the perf trajectory; `obs` reads an
+event stream back into the ω_m/ω_l and λ learner trajectories.
 """
 
 from __future__ import annotations
@@ -42,12 +47,83 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         trace = make_workload(args.workload, n_requests=args.requests)
     cap = max(int(trace.working_set_size * args.fraction), 1)
-    res = simulate(registry[args.policy](cap), trace, warmup=args.warmup)
+
+    if args.snapshot_every < 0:
+        print(f"--snapshot-every must be >= 0, got {args.snapshot_every}")
+        return 2
+    obs = None
+    if args.trace_out or args.obs_summary or args.snapshot_every or args.manifest_out:
+        from repro.obs import ObsConfig
+
+        manifest_out = args.manifest_out
+        if manifest_out is None and args.trace_out:
+            manifest_out = args.trace_out + ".manifest.json"
+        obs = ObsConfig(
+            trace_out=args.trace_out,
+            snapshot_every=args.snapshot_every,
+            manifest_out=manifest_out,
+        )
+
+    try:
+        res = simulate(registry[args.policy](cap), trace, warmup=args.warmup, obs=obs)
+    except OSError as exc:
+        if obs is None:
+            raise
+        print(f"cannot write observability output: {exc}")
+        return 2
     print(
         f"{res.policy} on {res.trace}: miss_ratio={res.miss_ratio:.4f} "
         f"byte_miss_ratio={res.byte_miss_ratio:.4f} tps={res.tps:,.0f} "
         f"cache={cap / 1e9:.3f} GB"
     )
+    if res.obs is not None:
+        if args.trace_out:
+            print(f"wrote {args.trace_out} ({res.obs['events_written']} events)")
+        if obs.manifest_out:
+            print(f"wrote {obs.manifest_out}")
+        if args.obs_summary:
+            print(_format_registry(res.obs["registry"]))
+    return 0
+
+
+def _format_registry(registry: dict) -> str:
+    """Render a registry snapshot as an aligned name/labels/value table."""
+    lines = [f"{'metric':<24} {'labels':<24} {'value':>14}"]
+    for name, by_label in registry.items():
+        for label_str, payload in by_label.items():
+            if payload["type"] == "histogram":
+                value = (
+                    f"n={payload['count']} mean={payload['mean']:.1f} "
+                    f"p99={payload['p99']:.0f}"
+                )
+                lines.append(f"{name:<24} {label_str:<24} {value:>14}")
+            else:
+                value = payload["value"]
+                formatted = f"{value:.4f}" if isinstance(value, float) else str(value)
+                lines.append(f"{name:<24} {label_str:<24} {formatted:>14}")
+    return "\n".join(lines)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        event_counts,
+        format_learner_table,
+        format_summary,
+        learner_series,
+        read_events,
+    )
+
+    try:
+        events = list(read_events(args.events))
+    except FileNotFoundError:
+        print(f"no such event stream: {args.events}")
+        return 2
+    except ValueError as exc:
+        print(f"cannot read {args.events}: {exc}")
+        return 2
+    print(format_summary(event_counts(events)))
+    print()
+    print(format_learner_table(learner_series(events), max_rows=args.rows))
     return 0
 
 
@@ -145,6 +221,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--requests", type=int, default=100_000)
     p.add_argument("--fraction", type=float, default=0.02, help="cache size as WSS fraction")
     p.add_argument("--warmup", type=int, default=0)
+    p.add_argument(
+        "--trace-out",
+        help="record a JSONL observability event stream here (.gz to compress)",
+    )
+    p.add_argument(
+        "--obs-summary",
+        action="store_true",
+        help="print the final metrics-registry snapshot after the run",
+    )
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="emit a registry snapshot into the event stream every N requests",
+    )
+    p.add_argument(
+        "--manifest-out",
+        help="run-manifest path (default: <trace-out>.manifest.json when tracing)",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("experiment", help="run a paper table/figure")
@@ -168,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="BENCH_engine.json", help="result JSON path ('' to skip)")
     p.add_argument("--quick", action="store_true", help="CI smoke mode: 30k requests, 1 repeat")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("obs", help="render learner trajectories from a JSONL event stream")
+    p.add_argument("events", help="events.jsonl[.gz] written by simulate --trace-out")
+    p.add_argument("--rows", type=int, default=24, help="max table rows (evenly sampled)")
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p.add_argument("-o", "--output", default="EXPERIMENTS.md")

@@ -44,6 +44,10 @@ class LearningRateController:
         Seeded RNG for the random restarts.
     """
 
+    #: Observability hook (see :class:`repro.obs.probe.Probe`); class-level
+    #: no-op until :meth:`attach_probe` shadows it.
+    _probe = None
+
     def __init__(
         self,
         initial: float = 0.1,
@@ -71,6 +75,7 @@ class LearningRateController:
         delta = hit_rate_now - hit_rate_prev          # Δ_t
         d_lambda = self._prev - self._prev2           # δ_t
         new = self._prev
+        restarted = False
         if d_lambda != 0.0:
             ratio = delta / d_lambda
             if ratio > 0:
@@ -85,8 +90,27 @@ class LearningRateController:
                 self.unlearn_count = 0
                 new = self.rng.uniform(LAMBDA_MIN, LAMBDA_MAX)
                 self.restarts += 1
+                restarted = True
         self._prev2 = self._prev
         self._prev = new
         self.value = new
         self.updates += 1
+        if self._probe is not None:
+            if restarted:
+                self._probe.emit("lambda_restart", value=new, update=self.updates)
+            self._probe.emit(
+                "lambda_update",
+                value=new,
+                delta=delta,
+                hit_rate=hit_rate_now,
+                update=self.updates,
+            )
         return new
+
+    # -- observability ---------------------------------------------------------
+    def attach_probe(self, probe) -> None:
+        """Emit ``lambda_update`` / ``lambda_restart`` events per UPDATELR."""
+        self._probe = probe
+
+    def detach_probe(self) -> None:
+        self._probe = None

@@ -41,6 +41,10 @@ class PositionBandit:
         Seeded RNG used for the γ draws.
     """
 
+    #: Observability hook (see :class:`repro.obs.probe.Probe`); class-level
+    #: no-op until :meth:`attach_probe` shadows it.
+    _probe = None
+
     def __init__(
         self,
         initial_w_mru: float = 0.9,
@@ -81,12 +85,28 @@ class PositionBandit:
         self.w_mru *= math.exp(-lam)
         self.penalties_mru += 1
         self._normalize()
+        if self._probe is not None:
+            self._probe.emit(
+                "weight_update", side="mru", lam=lam, w_mru=self.w_mru, w_lru=self.w_lru
+            )
 
     def penalize_lru(self, lam: float) -> None:
         """Ghost hit in ``H_l``: the LRU expert forfeited a hit."""
         self.w_lru *= math.exp(-lam)
         self.penalties_lru += 1
         self._normalize()
+        if self._probe is not None:
+            self._probe.emit(
+                "weight_update", side="lru", lam=lam, w_mru=self.w_mru, w_lru=self.w_lru
+            )
+
+    # -- observability ---------------------------------------------------------
+    def attach_probe(self, probe) -> None:
+        """Emit ``weight_update`` events (ω pair after each penalty)."""
+        self._probe = probe
+
+    def detach_probe(self) -> None:
+        self._probe = None
 
     # -- action selection --------------------------------------------------------
     def select(self) -> int:

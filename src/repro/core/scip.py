@@ -147,6 +147,7 @@ class SCIPCache(QueueCache):
         if not 0.0 <= escape <= 1.0:
             raise ValueError(f"escape must be in [0, 1], got {escape}")
         self.escape = escape
+        self.seed = seed
         rng = random.Random(seed)
         self._rng = rng
         self.h_m = HistoryList(int(capacity * history_fraction))
@@ -184,6 +185,21 @@ class SCIPCache(QueueCache):
         self._forced_pos: Optional[int] = None
         self._insert_flags = NORMAL
 
+    # -- observability -----------------------------------------------------------
+    def attach_probe(self, probe) -> None:
+        """Attach the probe to the whole learner stack: SCIP's own hook
+        points (``ghost_hit``, ``episode_transition``, ``admit``/``evict``)
+        plus the bandit's ``weight_update`` and the λ controller's
+        ``lambda_update``/``lambda_restart``."""
+        super().attach_probe(probe)
+        self.bandit.attach_probe(probe)
+        self.lr.attach_probe(probe)
+
+    def detach_probe(self) -> None:
+        super().detach_probe()
+        self.bandit.detach_probe()
+        self.lr.detach_probe()
+
     # -- Algorithm 1 main loop ---------------------------------------------------
     def request(self, req: Request) -> bool:
         hit = super().request(req)
@@ -218,11 +234,15 @@ class SCIPCache(QueueCache):
             node.inserted_mru = False
             self.queue.push_lru(node)
             self.pzro_demotions += 1
+            if self._probe is not None:
+                self._probe.emit("episode_transition", key=node.key, to="DEMOTED")
             return
         if flags & DEMOTED:
             # Re-hit while demoted at the tail: the suspicion was wrong.
             c = self._pzro_conf.get(node.key, 0)
             self._pzro_conf[node.key] = max(c - 2, -4)
+            if self._probe is not None:
+                self._probe.emit("episode_transition", key=node.key, to="RELEASED")
         node.data = flags & ~DENIED  # a hit clears ZRO state
         if self.bandit.select_promotion(self.promote_threshold) == MRU_POS:
             node.inserted_mru = True
@@ -241,13 +261,22 @@ class SCIPCache(QueueCache):
         if entry is not None:
             _, hits, flag, etime = entry
             self.ghost_hits_m += 1
+            if self._probe is not None:
+                self._probe.emit(
+                    "ghost_hit",
+                    list="m",
+                    key=req.key,
+                    hits=hits,
+                    flag=flag,
+                    age=self.clock - etime,
+                )
             if not self.per_object:
                 # Algorithm 1 literal: global update only (L6-8).
                 self.bandit.penalize_mru(lam)
             elif not self.use_hit_token and self._long_gap(etime):
                 # Token-blind variant: every long-gap H_m ghost is a ZRO.
                 self.bandit.penalize_mru(lam)
-                self._deny()
+                self._deny(req.key)
             elif not self.use_hit_token:
                 self._forced_pos = MRU_POS
             elif not self._long_gap(etime):
@@ -260,7 +289,7 @@ class SCIPCache(QueueCache):
                 # traversal and nothing else.  Penalise the expert and deny
                 # the position.
                 self.bandit.penalize_mru(lam)
-                self._deny()
+                self._deny(req.key)
             elif hits == 1:
                 # Single-hit-then-die signature: the one hit was a P-ZRO
                 # event.  The *promotion* wasted a traversal — penalise the
@@ -276,7 +305,7 @@ class SCIPCache(QueueCache):
                     # to normal promotion (the conservative side of the
                     # trade — a wrong demotion costs hits, a missed one
                     # only costs space).
-                    self._suspect()
+                    self._suspect(req.key)
             else:
                 # Multi-hit tenure: the object earns its keep while
                 # resident; demoting any one hit would forfeit the rest.
@@ -285,6 +314,15 @@ class SCIPCache(QueueCache):
             entry = self.h_l.pop(req.key)
             if entry is not None:
                 _, hits, flag, etime = entry
+                if self._probe is not None:
+                    self._probe.emit(
+                        "ghost_hit",
+                        list="l",
+                        key=req.key,
+                        hits=hits,
+                        flag=flag,
+                        age=self.clock - etime,
+                    )
                 if not self.per_object:
                     self.bandit.penalize_lru(lam)
                     self.ghost_hits_l += 1
@@ -294,7 +332,7 @@ class SCIPCache(QueueCache):
                     # confirmation is also regime evidence — an MRU tenure
                     # would have been wasted — so the MRU expert pays.
                     self.bandit.penalize_mru(lam)
-                    self._deny()
+                    self._deny(req.key)
                 elif flag == DEMOTED and self._long_gap(etime):
                     # Demotion confirmed (died at the tail right after its
                     # hit, returning only after a cache lifetime): raise the
@@ -303,7 +341,7 @@ class SCIPCache(QueueCache):
                     self._pzro_conf[req.key] = min(c + 1, 3)
                     self.bandit.penalize_mru(lam)
                     self._forced_pos = MRU_POS
-                    self._suspect()
+                    self._suspect(req.key)
                 else:
                     # Release to the MRU position.  Only a NORMAL-flag entry
                     # indicts the LRU expert — a DENIED/DEMOTED entry's tail
@@ -329,22 +367,30 @@ class SCIPCache(QueueCache):
         treatable — quick returners are marginal objects worth caching."""
         return (self.clock - evict_time) > self.deny_gap_factor * self._tenure_ewma
 
-    def _deny(self) -> None:
+    def _deny(self, key: int) -> None:
         """Apply (or sustain) a ZRO denial, with bimodal escape."""
         if self._rng.random() < self.escape:
             self._forced_pos = MRU_POS  # reconciliation tenure
             self._insert_flags = NORMAL
+            if self._probe is not None:
+                self._probe.emit("episode_transition", key=key, to="ESCAPED")
             return
         self._forced_pos = LRU_POS
         self._insert_flags = DENIED
         self.zro_denials += 1
+        if self._probe is not None:
+            self._probe.emit("episode_transition", key=key, to="DENIED")
 
-    def _suspect(self) -> None:
+    def _suspect(self, key: int) -> None:
         """Arm (or re-arm) a P-ZRO suspicion, with bimodal escape."""
         if self._rng.random() < self.escape:
             self._insert_flags = NORMAL
+            if self._probe is not None:
+                self._probe.emit("episode_transition", key=key, to="ESCAPED")
             return
         self._insert_flags = SUSPECT
+        if self._probe is not None:
+            self._probe.emit("episode_transition", key=key, to="SUSPECT")
 
     def _insert_position(self, req: Request) -> int:
         if self._forced_pos is not None:

@@ -1,0 +1,54 @@
+"""``repro.obs`` — zero-overhead instrumentation for the SCIP reproduction.
+
+Three pieces:
+
+* **metrics** — :class:`~repro.obs.metrics.MetricsRegistry` of counters,
+  gauges and fixed-log2-bucket histograms, the shared numeric vocabulary
+  (the TDC monitor's latency histogram is the same type);
+* **probe** — :class:`~repro.obs.probe.Probe`, the named-hook-point event
+  API; policies pay one ``if self._probe is None`` branch when tracing is
+  off, and the bulk-replay fast loop opts out entirely;
+* **sinks** — ring buffer, schema-versioned JSONL writer (gzip-able),
+  registry recorder, periodic snapshot emitter; plus run **manifests**
+  (seed, params, git SHA) for reproducible artifacts.
+
+Entry point for engine users::
+
+    from repro.obs import ObsConfig
+    res = simulate(SCIPCache(cap), trace, obs=ObsConfig(trace_out="ev.jsonl"))
+    res.obs["registry"]["w_mru"]  # final learner state
+
+CLI: ``repro simulate --trace-out ev.jsonl --obs-summary`` to record,
+``repro obs ev.jsonl`` to reconstruct the ω/λ trajectories.
+"""
+
+from repro.obs.config import ObsConfig, ObsSession
+from repro.obs.manifest import MANIFEST_SCHEMA, build_manifest, write_manifest
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.probe import PROBE_EVENTS, Probe
+from repro.obs.sinks import (
+    EVENT_SCHEMA,
+    JSONLSink,
+    RegistryRecorder,
+    RingBufferSink,
+    SnapshotEmitter,
+)
+
+__all__ = [
+    "ObsConfig",
+    "ObsSession",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "write_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PROBE_EVENTS",
+    "Probe",
+    "EVENT_SCHEMA",
+    "JSONLSink",
+    "RegistryRecorder",
+    "RingBufferSink",
+    "SnapshotEmitter",
+]

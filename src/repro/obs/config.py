@@ -1,0 +1,97 @@
+"""Observability configuration: one dataclass the engine understands.
+
+``simulate(policy, trace, obs=ObsConfig(trace_out="events.jsonl"))`` is the
+whole integration surface: the engine opens an :class:`ObsSession` from the
+config, attaches its probe to the policy for the duration of the replay,
+and folds the final registry snapshot into the :class:`~repro.sim.engine.
+SimResult`.  The session owns sink lifetime (the JSONL writer is closed
+even if the replay raises) and sink ordering (registry recorder before
+snapshot emitter, so snapshots always see current numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import Probe
+from repro.obs.sinks import JSONLSink, RegistryRecorder, RingBufferSink, SnapshotEmitter
+
+__all__ = ["ObsConfig", "ObsSession"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to observe during one simulation run.
+
+    Parameters
+    ----------
+    trace_out:
+        JSONL event stream path (``.gz`` → gzip); ``None`` disables the
+        file sink.
+    ring:
+        Keep the last ``ring`` events in memory (0 disables); exposed on
+        the session for tests and interactive debugging.
+    snapshot_every:
+        Emit a registry snapshot every N requests of policy clock
+        (0 disables).
+    manifest_out:
+        Write a run manifest here after the replay (``None`` disables;
+        the CLI defaults it next to ``trace_out``).
+    events:
+        Optional event-name filter (see :data:`repro.obs.probe.
+        PROBE_EVENTS`); ``None`` records everything.
+    """
+
+    trace_out: Optional[str] = None
+    ring: int = 0
+    snapshot_every: int = 0
+    manifest_out: Optional[str] = None
+    events: Optional[frozenset] = None
+
+    def open(self) -> "ObsSession":
+        return ObsSession(self)
+
+
+class ObsSession:
+    """Live sink set for one run; create via :meth:`ObsConfig.open`."""
+
+    def __init__(self, config: ObsConfig):
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.ring: Optional[RingBufferSink] = None
+        self.jsonl: Optional[JSONLSink] = None
+        self.snapshots: Optional[SnapshotEmitter] = None
+        # Sink order is contract: the recorder updates the registry that
+        # the snapshot emitter reads.
+        sinks: list = [RegistryRecorder(self.registry)]
+        if config.ring > 0:
+            self.ring = RingBufferSink(maxlen=config.ring)
+            sinks.append(self.ring)
+        if config.trace_out:
+            self.jsonl = JSONLSink(config.trace_out)
+            sinks.append(self.jsonl)
+        if config.snapshot_every > 0:
+            self.snapshots = SnapshotEmitter(
+                self.registry, config.snapshot_every, forward=self.jsonl
+            )
+            sinks.append(self.snapshots)
+        self.probe = Probe(sinks, events=config.events)
+
+    def snapshot(self) -> dict:
+        """Registry snapshot plus stream bookkeeping (the ``SimResult.obs``
+        payload)."""
+        out = {
+            "events_emitted": self.probe.seq,
+            "registry": self.registry.snapshot(),
+        }
+        if self.jsonl is not None:
+            out["trace_out"] = self.jsonl.path
+            out["events_written"] = self.jsonl.written
+        if self.snapshots is not None:
+            out["snapshots"] = len(self.snapshots.snapshots)
+        return out
+
+    def close(self) -> None:
+        self.probe.close()

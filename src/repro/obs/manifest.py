@@ -1,0 +1,120 @@
+"""Run manifests: the reproducibility record written next to every traced run.
+
+A manifest captures everything needed to re-produce (or at least re-blame)
+one simulation artifact: the policy and its scalar parameters, the trace
+profile, the seed, the git SHA of the working tree, interpreter/platform
+info, and the schema versions of both the manifest itself and the JSONL
+event stream it accompanies.  EXPERIMENTS.md figures regenerated from a
+manifest + trace are artifacts, not anecdotes.
+
+Schema (``MANIFEST_SCHEMA`` = 1)::
+
+    {
+      "schema": 1,
+      "event_schema": 1,          # JSONL stream version (repro.obs.sinks)
+      "created": "2026-01-01T00:00:00",
+      "python": "3.11.7",
+      "platform": "Linux-...",
+      "git_sha": "abc1234" | "unknown",
+      "git_dirty": true | false | null,
+      "policy": {"name": ..., "capacity": ..., <scalar params>},
+      "trace": {"name": ..., "requests": ..., "working_set_size": ...},
+      "seed": <int | null>,
+      "extra": {...}              # caller-provided (CLI args, obs config)
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from typing import Optional
+
+from repro.obs.sinks import EVENT_SCHEMA
+
+__all__ = ["MANIFEST_SCHEMA", "git_revision", "build_manifest", "write_manifest"]
+
+#: Version of the manifest layout; bump on breaking changes.
+MANIFEST_SCHEMA = 1
+
+
+def git_revision() -> dict:
+    """Best-effort git SHA + dirty bit; degrades to ``unknown`` outside a
+    repository (or without a git binary) rather than failing the run."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        ).stdout.strip()
+        dirty = bool(
+            subprocess.run(
+                ["git", "status", "--porcelain"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip()
+        )
+        return {"git_sha": sha, "git_dirty": dirty}
+    except Exception:
+        return {"git_sha": "unknown", "git_dirty": None}
+
+
+def _scalar_params(policy) -> dict:
+    """Public scalar attributes of a policy — its reproducible parameter set.
+
+    Callables, containers and private/underscore state are skipped; this is
+    a manifest, not a pickle.
+    """
+    out = {}
+    for key, value in sorted(vars(policy).items()):
+        if key.startswith("_"):
+            continue
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            out[key] = value
+    return out
+
+
+def build_manifest(
+    policy=None,
+    trace=None,
+    seed: Optional[int] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Assemble a manifest dict (no I/O beyond the git probe)."""
+    doc: dict = {
+        "schema": MANIFEST_SCHEMA,
+        "event_schema": EVENT_SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    doc.update(git_revision())
+    if policy is not None:
+        doc["policy"] = {"name": getattr(policy, "name", type(policy).__name__)}
+        doc["policy"].update(_scalar_params(policy))
+    if trace is not None:
+        doc["trace"] = {
+            "name": getattr(trace, "name", "unknown"),
+            "requests": len(trace),
+            "working_set_size": getattr(trace, "working_set_size", None),
+        }
+    if seed is None and policy is not None:
+        seed = getattr(policy, "seed", None)
+    doc["seed"] = seed
+    if extra:
+        doc["extra"] = dict(extra)
+    return doc
+
+
+def write_manifest(path: str, manifest: dict) -> str:
+    """Persist a manifest as pretty JSON; returns the path written."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return str(path)

@@ -1,0 +1,109 @@
+"""The probe: named event hook points with a zero-cost disabled path.
+
+Instrumented components (``SCIPCache``, ``PositionBandit``,
+``LearningRateController``, ``QueueCache``) carry a **class-level**
+``_probe = None`` attribute — the module-level no-op.  Attaching a probe
+shadows it with an instance attribute; every hook point in the hot code is
+therefore exactly one ``if self._probe is not None`` branch when tracing is
+off, and the bulk-replay fast loop opts out entirely
+(:meth:`repro.cache.base.QueueCache._fast_replay_eligible` refuses to
+engage while a probe is attached, so the bare loop is never even branch-
+taxed).
+
+Event vocabulary (see ``docs/obs_schema.md`` for the field tables):
+
+==================== ==========================================================
+event                emitted by
+==================== ==========================================================
+``admit``            ``QueueCache._miss`` — object inserted (MRU or LRU end)
+``evict``            ``QueueCache.evict_node`` — victim left the cache
+``ghost_hit``        ``SCIPCache._miss`` — re-request found in H_m / H_l
+``episode_transition`` SCIP per-object machine: DENIED / SUSPECT / DEMOTED /
+                     RELEASED / ESCAPED
+``weight_update``    ``PositionBandit.penalize_*`` — ω pair after a penalty
+``lambda_update``    ``LearningRateController.update`` — λ after UPDATELR
+``lambda_restart``   the Algorithm-2 random restart inside UPDATELR
+``snapshot``         :class:`repro.obs.sinks.SnapshotEmitter` — registry dump
+==================== ==========================================================
+
+Every record carries ``seq`` (emission order) and, when the probe has a
+clock source, ``t`` (the owning policy's logical clock).  Sinks receive the
+record dict in registration order — registry-updating sinks should precede
+snapshotting ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+__all__ = ["Probe", "PROBE_EVENTS"]
+
+#: The full hook-point vocabulary; an emit with an unknown event name is a
+#: programming error and raises.
+PROBE_EVENTS = frozenset(
+    {
+        "admit",
+        "evict",
+        "ghost_hit",
+        "episode_transition",
+        "weight_update",
+        "lambda_update",
+        "lambda_restart",
+        "snapshot",
+    }
+)
+
+
+class Probe:
+    """Fan-out point for instrumentation events.
+
+    Parameters
+    ----------
+    sinks:
+        Objects with a ``write(record: dict)`` method, called in order.
+    events:
+        Optional event-name filter; emissions outside the set are dropped
+        before any record is built.
+    now:
+        Optional zero-arg callable supplying the logical clock; attached
+        policies install their own (``lambda: self.clock``) so learner
+        components without a clock still produce time-keyed records.
+    """
+
+    __slots__ = ("sinks", "events", "now", "seq")
+
+    def __init__(
+        self,
+        sinks: Iterable = (),
+        events: Optional[frozenset] = None,
+        now: Optional[Callable[[], int]] = None,
+    ):
+        if events is not None:
+            unknown = set(events) - PROBE_EVENTS
+            if unknown:
+                raise ValueError(f"unknown probe events: {sorted(unknown)}")
+        self.sinks = list(sinks)
+        self.events = events
+        self.now = now
+        self.seq = 0
+
+    def emit(self, event: str, **fields) -> None:
+        """Build one event record and hand it to every sink."""
+        if event not in PROBE_EVENTS:
+            raise ValueError(f"unknown probe event {event!r}")
+        if self.events is not None and event not in self.events:
+            return
+        self.seq += 1
+        rec = {"seq": self.seq, "event": event}
+        if self.now is not None and "t" not in fields:
+            rec["t"] = self.now()
+        rec.update(fields)
+        for sink in self.sinks:
+            sink.write(rec)
+
+    def close(self) -> None:
+        """Close every sink that supports it (flushes JSONL writers)."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

@@ -1,0 +1,139 @@
+"""Read a JSONL event stream back into learner trajectories and tables.
+
+This is the consumer half of the observability layer: ``repro obs
+events.jsonl`` reconstructs the ω_m/ω_l and λ time series that Algorithm 1
+and Algorithm 2 produced during a traced run, renders them as a sampled
+text table, and summarises the event mix — the debugging loop for a
+convergence regression is "trace once, read the table", not print-statement
+archaeology.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Iterable, Iterator, List
+
+from repro.obs.sinks import EVENT_SCHEMA
+
+__all__ = [
+    "read_events",
+    "event_counts",
+    "learner_series",
+    "format_learner_table",
+    "format_summary",
+]
+
+
+def read_events(path: str) -> Iterator[dict]:
+    """Yield event records from a JSONL file (``.gz`` aware).
+
+    The leading ``schema`` record is validated and swallowed; a stream
+    written by a future incompatible writer raises ``ValueError`` instead
+    of mis-parsing.  Blank lines are ignored.
+    """
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "rt", encoding="utf-8") as fh:  # type: ignore[operator]
+        first = True
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if first:
+                first = False
+                if rec.get("event") == "schema":
+                    version = rec.get("version")
+                    if version != EVENT_SCHEMA:
+                        raise ValueError(
+                            f"event stream schema {version!r} unsupported "
+                            f"(reader understands {EVENT_SCHEMA})"
+                        )
+                    continue
+            yield rec
+
+
+def event_counts(events: Iterable[dict]) -> dict:
+    """Event-name → occurrence count."""
+    counts: dict = {}
+    for rec in events:
+        name = rec.get("event", "?")
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def learner_series(events: Iterable[dict]) -> dict:
+    """Extract the learner trajectories from an event stream.
+
+    Returns ``{"weights": [(t, w_mru, w_lru)], "lam": [(t, λ)],
+    "restarts": [(t, λ)]}`` — ``t`` falls back to the emission ``seq`` for
+    records without a clock, so ordering survives either way.
+    """
+    weights: List[tuple] = []
+    lam: List[tuple] = []
+    restarts: List[tuple] = []
+    for rec in events:
+        t = rec.get("t", rec.get("seq", 0))
+        event = rec.get("event")
+        if event == "weight_update":
+            weights.append((t, rec["w_mru"], rec["w_lru"]))
+        elif event == "lambda_update":
+            lam.append((t, rec["value"]))
+        elif event == "lambda_restart":
+            restarts.append((t, rec["value"]))
+            lam.append((t, rec["value"]))
+    return {"weights": weights, "lam": lam, "restarts": restarts}
+
+
+def _sample(rows: list, max_rows: int) -> list:
+    """Evenly sample ``rows`` down to ``max_rows`` (keeping first and last)."""
+    if len(rows) <= max_rows:
+        return rows
+    step = (len(rows) - 1) / (max_rows - 1)
+    return [rows[round(i * step)] for i in range(max_rows)]
+
+
+def format_learner_table(series: dict, max_rows: int = 24) -> str:
+    """Render the ω/λ trajectories as an aligned text table.
+
+    The two series are merged on ``t`` (each row shows the latest known
+    value of every column at that point), then evenly sampled to
+    ``max_rows``.
+    """
+    merged: dict = {}
+    for t, w_m, w_l in series["weights"]:
+        merged.setdefault(t, {})["w"] = (w_m, w_l)
+    for t, value in series["lam"]:
+        merged.setdefault(t, {})["lam"] = value
+    if not merged:
+        return "(no learner events in stream)"
+    rows = []
+    w_m = w_l = lam = None
+    for t in sorted(merged):
+        cell = merged[t]
+        if "w" in cell:
+            w_m, w_l = cell["w"]
+        if "lam" in cell:
+            lam = cell["lam"]
+        rows.append((t, w_m, w_l, lam))
+    rows = _sample(rows, max_rows)
+    fmt_f = lambda v: f"{v:.4f}" if v is not None else "-"  # noqa: E731
+    lines = [f"{'t':>12} {'w_mru':>8} {'w_lru':>8} {'lambda':>8}"]
+    for t, w_m, w_l, lam in rows:
+        lines.append(f"{t:>12} {fmt_f(w_m):>8} {fmt_f(w_l):>8} {fmt_f(lam):>8}")
+    if series["restarts"]:
+        pts = ", ".join(f"t={t} λ={v:.4f}" for t, v in series["restarts"][:10])
+        more = len(series["restarts"]) - 10
+        lines.append(f"restarts: {pts}" + (f" (+{more} more)" if more > 0 else ""))
+    return "\n".join(lines)
+
+
+def format_summary(counts: dict) -> str:
+    """One-line-per-event occurrence summary."""
+    if not counts:
+        return "(empty event stream)"
+    total = sum(counts.values())
+    lines = [f"{total} events"]
+    for name in sorted(counts, key=lambda n: -counts[n]):
+        lines.append(f"  {name:<20} {counts[name]:>10,}")
+    return "\n".join(lines)

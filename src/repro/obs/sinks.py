@@ -1,0 +1,150 @@
+"""Probe sinks: ring buffer, JSONL writer, registry recorder, snapshots.
+
+A sink is anything with ``write(record: dict)``; :class:`Probe` calls the
+sinks in registration order, so order encodes dataflow —
+:class:`RegistryRecorder` (which folds events into the metrics registry)
+must come before :class:`SnapshotEmitter` (which reads the registry).
+
+The JSONL stream is schema-versioned: the first line of every file is a
+``{"event": "schema", "version": N}`` record, and readers
+(:mod:`repro.obs.report`) refuse future majors rather than mis-parse.
+Paths ending in ``.gz`` are gzip-compressed transparently.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from collections import deque
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "RingBufferSink",
+    "JSONLSink",
+    "RegistryRecorder",
+    "SnapshotEmitter",
+]
+
+#: Version of the JSONL event schema; bump on breaking field changes.
+EVENT_SCHEMA = 1
+
+
+class RingBufferSink:
+    """Keep the last ``maxlen`` event records in memory (flight recorder)."""
+
+    def __init__(self, maxlen: int = 4096):
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.buffer: deque = deque(maxlen=maxlen)
+        self.written = 0
+
+    def write(self, record: dict) -> None:
+        self.buffer.append(record)
+        self.written += 1
+
+    def as_list(self) -> List[dict]:
+        return list(self.buffer)
+
+
+class JSONLSink:
+    """Append-only JSONL event writer; ``.gz`` suffix → gzip stream."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        if self.path.endswith(".gz"):
+            self._fh = gzip.open(self.path, "wt", encoding="utf-8")
+        else:
+            self._fh = open(self.path, "w", encoding="utf-8")
+        self.written = 0
+        self._fh.write(
+            json.dumps({"event": "schema", "version": EVENT_SCHEMA}, sort_keys=True)
+            + "\n"
+        )
+
+    def write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None  # type: ignore[assignment]
+
+
+class RegistryRecorder:
+    """Fold the event stream into a :class:`MetricsRegistry`.
+
+    Maintains, besides an ``events`` counter per event type:
+
+    * gauges ``w_mru`` / ``w_lru`` / ``lambda`` — the learner trajectory's
+      latest points;
+    * counters ``ghost_hits{list=m|l}``, ``lambda_restarts``,
+      ``episodes{to=...}``;
+    * log2 histograms ``admit_bytes`` / ``evict_bytes`` and
+      ``evict_tenure_hits`` (hit token at eviction — the ZRO signal).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def write(self, record: dict) -> None:
+        reg = self.registry
+        event = record["event"]
+        reg.counter("events", event=event).inc()
+        if event == "weight_update":
+            reg.gauge("w_mru").set(record["w_mru"])
+            reg.gauge("w_lru").set(record["w_lru"])
+        elif event == "lambda_update":
+            reg.gauge("lambda").set(record["value"])
+        elif event == "lambda_restart":
+            reg.counter("lambda_restarts").inc()
+            reg.gauge("lambda").set(record["value"])
+        elif event == "ghost_hit":
+            reg.counter("ghost_hits", list=record["list"]).inc()
+        elif event == "episode_transition":
+            reg.counter("episodes", to=record["to"]).inc()
+        elif event == "admit":
+            reg.histogram("admit_bytes").observe(record["size"])
+        elif event == "evict":
+            reg.histogram("evict_bytes").observe(record["size"])
+            reg.histogram("evict_tenure_hits").observe(record["hits"])
+
+
+class SnapshotEmitter:
+    """Periodic registry snapshots keyed to the policy's request clock.
+
+    Watches the ``t`` field of passing events; whenever ``t`` crosses the
+    next ``every``-requests boundary the current registry snapshot is
+    recorded (and forwarded to ``forward`` — typically the JSONL sink — as
+    a ``snapshot`` event).  Multiple crossed boundaries collapse into one
+    snapshot: with event gaps longer than ``every`` there is nothing new to
+    say in between.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        every: int,
+        forward=None,
+    ):
+        if every < 1:
+            raise ValueError(f"snapshot interval must be >= 1, got {every}")
+        self.registry = registry
+        self.every = every
+        self.forward = forward
+        self.snapshots: List[dict] = []
+        self._next = every
+
+    def write(self, record: dict) -> None:
+        t = record.get("t")
+        if t is None or t < self._next:
+            return
+        snap = {"event": "snapshot", "t": t, "registry": self.registry.snapshot()}
+        self.snapshots.append(snap)
+        if self.forward is not None:
+            self.forward.write(snap)
+        while self._next <= t:
+            self._next += self.every

@@ -10,9 +10,13 @@ workload through a small policy set on **both** engine paths:
 
 For every policy it reports requests/second on each path, the speedup, and
 asserts the two paths produced **identical** miss ratios — a hot run of the
-golden-trace gate.  Results are written to ``BENCH_engine.json`` so future
-optimization PRs have a before/after perf trajectory to extend, not just a
-point measurement.
+golden-trace gate.  A third measurement replays with an observability probe
+attached (``tps_traced``), so the JSON records what tracing costs — and,
+by comparing ``tps_fast`` against the previous persisted document
+(``headline.fast_tps_prev`` / ``headline.fast_change_vs_prev``), what the
+*disabled* instrumentation costs, which must stay within noise.  Results
+are written to ``BENCH_engine.json`` so future optimization PRs have a
+before/after perf trajectory to extend, not just a point measurement.
 
 The headline number is the LRU speedup: LRU is the pure engine hot path
 (dict probe + pointer splice, no policy-specific work), so it isolates what
@@ -62,13 +66,22 @@ def _best_tps(
     trace: Trace,
     capacity: int,
     repeats: int,
-    fast: bool,
+    fast: Optional[bool],
+    traced: bool = False,
 ) -> tuple:
-    """Best-of-``repeats`` throughput; returns (tps, miss_ratio, byte_mr)."""
+    """Best-of-``repeats`` throughput; returns (tps, miss_ratio, byte_mr).
+
+    With ``traced=True`` an observability session (registry recorder, no
+    file sink) rides along, which routes the replay through the
+    instrumented per-request path — the tracing-cost measurement.
+    """
+    from repro.obs import ObsConfig
+
     best = 0.0
     miss_ratio = byte_mr = None
     for _ in range(max(repeats, 1)):
-        res = simulate(factory(capacity), trace, fast=fast)
+        obs = ObsConfig() if traced else None
+        res = simulate(factory(capacity), trace, fast=fast, obs=obs)
         best = max(best, res.tps)
         if miss_ratio is None:
             miss_ratio = res.miss_ratio
@@ -127,21 +140,50 @@ def run_engine_bench(
         tps_fast, mr_fast, bmr_fast = _best_tps(
             factory, trace, capacity, repeats, fast=True
         )
+        tps_traced, mr_traced, bmr_traced = _best_tps(
+            factory, trace, capacity, repeats, fast=None, traced=True
+        )
         if mr_fast != mr_legacy or bmr_fast != bmr_legacy:
             raise AssertionError(
                 f"{name}: fast path drifted from legacy path "
                 f"(miss_ratio {mr_fast!r} vs {mr_legacy!r}, "
                 f"byte_miss_ratio {bmr_fast!r} vs {bmr_legacy!r})"
             )
+        if mr_traced != mr_legacy or bmr_traced != bmr_legacy:
+            raise AssertionError(
+                f"{name}: traced path drifted from legacy path "
+                f"(miss_ratio {mr_traced!r} vs {mr_legacy!r})"
+            )
         results[name] = {
             "tps_legacy": tps_legacy,
             "tps_fast": tps_fast,
+            "tps_traced": tps_traced,
             "speedup": tps_fast / tps_legacy if tps_legacy > 0 else float("inf"),
+            "trace_cost": tps_fast / tps_traced if tps_traced > 0 else float("inf"),
             "miss_ratio": mr_fast,
             "byte_miss_ratio": bmr_fast,
         }
 
     headline_policy = "LRU" if "LRU" in results else next(iter(results))
+    # Perf trajectory: compare this run's fast path against the previous
+    # persisted document (same machine in CI and the dev loop) — the
+    # disabled-instrumentation regression gate.
+    fast_tps_prev = fast_change = None
+    if output:
+        try:
+            with open(output) as f:
+                prev = json.load(f)
+            if (
+                prev.get("workload") == workload
+                and prev.get("n_requests") == len(trace)
+                and headline_policy in prev.get("results", {})
+            ):
+                fast_tps_prev = prev["results"][headline_policy]["tps_fast"]
+                fast_change = (
+                    results[headline_policy]["tps_fast"] / fast_tps_prev - 1.0
+                )
+        except (OSError, ValueError, KeyError):
+            pass
     doc = {
         "schema": BENCH_SCHEMA,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -157,6 +199,9 @@ def run_engine_bench(
             "speedup": results[headline_policy]["speedup"],
             "tps_fast": results[headline_policy]["tps_fast"],
             "tps_legacy": results[headline_policy]["tps_legacy"],
+            "trace_cost": results[headline_policy]["trace_cost"],
+            "fast_tps_prev": fast_tps_prev,
+            "fast_change_vs_prev": fast_change,
         },
     }
     if output:
@@ -172,13 +217,20 @@ def format_bench(doc: dict) -> str:
         f"engine bench — {doc['workload']} × {doc['n_requests']:,} requests, "
         f"cache {doc['cache_fraction']:.0%} of WSS "
         f"({doc['capacity_bytes'] / 1e6:.1f} MB), best of {doc['repeats']}",
-        f"{'policy':<8} {'legacy req/s':>14} {'fast req/s':>14} {'speedup':>9} {'miss_ratio':>11}",
+        f"{'policy':<8} {'legacy req/s':>14} {'fast req/s':>14} {'traced req/s':>14} "
+        f"{'speedup':>9} {'miss_ratio':>11}",
     ]
     for name, r in doc["results"].items():
+        traced = f"{r['tps_traced']:>14,.0f}" if "tps_traced" in r else f"{'-':>14}"
         lines.append(
-            f"{name:<8} {r['tps_legacy']:>14,.0f} {r['tps_fast']:>14,.0f} "
+            f"{name:<8} {r['tps_legacy']:>14,.0f} {r['tps_fast']:>14,.0f} {traced} "
             f"{r['speedup']:>8.2f}x {r['miss_ratio']:>11.4f}"
         )
     h = doc["headline"]
     lines.append(f"headline ({h['policy']}): {h['speedup']:.2f}x")
+    if h.get("fast_change_vs_prev") is not None:
+        lines.append(
+            f"fast path vs previous run: {h['fast_change_vs_prev']:+.2%} "
+            f"(prev {h['fast_tps_prev']:,.0f} req/s)"
+        )
     return "\n".join(lines)

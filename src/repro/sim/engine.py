@@ -29,6 +29,8 @@ import tracemalloc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.config import ObsConfig
+from repro.obs.manifest import build_manifest, write_manifest
 from repro.sim.metrics import MetricsCollector
 from repro.sim.request import Trace, annotate_next_access
 
@@ -59,9 +61,12 @@ class SimResult:
     peak_alloc_bytes: int
     metrics: MetricsCollector = field(repr=False, default=None)  # type: ignore[assignment]
     policy_obj: "CachePolicy" = field(repr=False, default=None)  # type: ignore[assignment]
+    #: observability payload (registry snapshot + stream bookkeeping) when
+    #: the run was traced via ``simulate(..., obs=ObsConfig(...))``.
+    obs: Optional[dict] = field(repr=False, default=None)
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "policy": self.policy,
             "trace": self.trace,
             "cache_bytes": self.cache_bytes,
@@ -73,6 +78,9 @@ class SimResult:
             "metadata_bytes": self.metadata_bytes,
             "peak_alloc_bytes": self.peak_alloc_bytes,
         }
+        if self.obs is not None:
+            out["obs"] = self.obs
+        return out
 
 
 def simulate(
@@ -83,6 +91,7 @@ def simulate(
     measure_memory: bool = False,
     needs_future: Optional[bool] = None,
     fast: Optional[bool] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> SimResult:
     """Replay ``trace`` through ``policy`` and collect metrics.
 
@@ -103,19 +112,59 @@ def simulate(
     fast:
         Force the slim bulk-replay loop (``True``) or the per-request rich
         loop (``False``).  Default ``None`` picks fast whenever no interval
-        series or memory metering was requested.  Both paths are
-        decision-identical; the benchmark subsystem measures them against
-        each other.
+        series or memory metering was requested; forcing ``True`` alongside
+        ``interval``/``measure_memory`` is contradictory (the fast loop has
+        no per-request callback to feed them) and raises ``ValueError``.
+        Both paths are decision-identical; the benchmark subsystem measures
+        them against each other.
+    obs:
+        Observability configuration (:class:`repro.obs.ObsConfig`).  When
+        given, a probe is attached to the policy for the duration of the
+        replay (event stream → the configured sinks), the final registry
+        snapshot lands in ``SimResult.obs``, and — if ``manifest_out`` is
+        set — a run manifest is written.  Decisions are unchanged; the
+        bulk fast loop is replaced by the instrumented per-request path
+        while the probe is attached.
     """
+    if fast and (interval > 0 or measure_memory):
+        raise ValueError(
+            "fast=True is contradictory with interval/measure_memory: the "
+            "bulk loop has no per-request callback (use fast=None or "
+            "fast=False for the rich path)"
+        )
     if needs_future is None:
         needs_future = "belady" in policy.name.lower() or "lrb" in policy.name.lower()
     if needs_future and not trace.annotated:
         annotate_next_access(trace)
     if fast is None:
         fast = interval == 0 and not measure_memory
-    if fast and interval == 0 and not measure_memory:
-        return _simulate_fast(policy, trace, warmup)
-    return _simulate_rich(policy, trace, warmup, interval, measure_memory)
+    session = None
+    manifest = None
+    if obs is not None:
+        session = obs.open()
+        policy.attach_probe(session.probe)
+        if obs.manifest_out:
+            # Capture the policy's parameter set pre-replay, so the manifest
+            # records configuration rather than end-of-run counter state.
+            manifest = build_manifest(
+                policy=policy,
+                trace=trace,
+                extra={"warmup": warmup, "trace_out": obs.trace_out},
+            )
+    try:
+        if fast:
+            result = _simulate_fast(policy, trace, warmup)
+        else:
+            result = _simulate_rich(policy, trace, warmup, interval, measure_memory)
+    finally:
+        if session is not None:
+            policy.detach_probe()
+            session.close()
+    if session is not None:
+        result.obs = session.snapshot()
+        if manifest is not None:
+            write_manifest(obs.manifest_out, manifest)
+    return result
 
 
 def _finish(

@@ -124,7 +124,6 @@ def run_deployment(
     switch_bucket = switch_idx // bucket_requests
     settle_buckets = int(len(trace) * settle_frac) // bucket_requests
     ratios = cluster.monitor.bto_ratio_series()
-    gbps = cluster.monitor.bto_gbps_series()
     lat = cluster.monitor.latency_series()
     before = slice(0, switch_bucket)
     after = slice(switch_bucket + settle_buckets, None)
@@ -133,11 +132,22 @@ def run_deployment(
         xs = list(xs)
         return sum(xs) / len(xs) if xs else 0.0
 
+    def gbps_avg(buckets) -> float:
+        # Duration-weighted aggregate: total origin bytes over total wall
+        # time.  An unweighted mean of per-bucket Gbps would give the short
+        # flushed tail bucket the same weight as a full one.
+        buckets = list(buckets)
+        requests = sum(b.requests for b in buckets)
+        if not requests:
+            return 0.0
+        secs = requests / cluster.monitor.requests_per_second
+        return sum(b.origin_bytes for b in buckets) * 8 / 1e9 / secs
+
     return DeploymentResult(
         before_bto_ratio=avg(ratios[before]),
         after_bto_ratio=avg(ratios[after]),
-        before_bto_gbps=avg(gbps[before]),
-        after_bto_gbps=avg(gbps[after]),
+        before_bto_gbps=gbps_avg(cluster.monitor.buckets[before]),
+        after_bto_gbps=gbps_avg(cluster.monitor.buckets[after]),
         before_latency_ms=avg(lat[before]),
         after_latency_ms=avg(lat[after]),
         cluster=cluster,

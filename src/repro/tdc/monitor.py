@@ -11,11 +11,18 @@ Tracks, per wall-clock bucket:
 `requests_per_second` converts logical request indices to wall time so the
 bandwidth axis has physical units, mirroring the production monitoring
 plots.
+
+Latency is additionally folded into a shared observability histogram
+(:class:`repro.obs.metrics.Histogram`, fixed log2 buckets) so the summary
+carries tail quantiles, not just the per-bucket means — the same instrument
+type the rest of the telemetry layer snapshots.
 """
 
 from __future__ import annotations
 
 from typing import List
+
+from repro.obs.metrics import Histogram
 
 __all__ = ["Monitor", "MonitorBucket"]
 
@@ -60,11 +67,13 @@ class Monitor:
         self.buckets: List[MonitorBucket] = []
         self._current = MonitorBucket(0)
         self._seen = 0
+        self.latency_hist = Histogram("latency_ms")
 
     def record(self, origin_fetch: bool, size: int, latency_ms: float) -> None:
         cur = self._current
         cur.requests += 1
         cur.latency_sum += latency_ms
+        self.latency_hist.observe(latency_ms)
         if origin_fetch:
             cur.origin_fetches += 1
             cur.origin_bytes += size
@@ -83,8 +92,15 @@ class Monitor:
         return [b.bto_ratio for b in self.buckets]
 
     def bto_gbps_series(self) -> List[float]:
-        secs = self.bucket_requests / self.requests_per_second
-        return [b.origin_bytes * 8 / 1e9 / secs for b in self.buckets]
+        # Each bucket's wall time follows from the requests it actually
+        # holds — a flushed partial tail bucket spans only its own
+        # ``b.requests / requests_per_second`` seconds, not the full
+        # ``bucket_requests`` duration (which would understate its Gbps).
+        rps = self.requests_per_second
+        return [
+            b.origin_bytes * 8 / 1e9 / (b.requests / rps) if b.requests else 0.0
+            for b in self.buckets
+        ]
 
     def latency_series(self) -> List[float]:
         return [b.avg_latency_ms for b in self.buckets]
@@ -95,7 +111,14 @@ class Monitor:
 
     def summary(self, split_at_bucket: int | None = None) -> dict:
         """Aggregate stats; with ``split_at_bucket``, before/after averages
-        (the Figure 6 deployment comparison)."""
+        (the Figure 6 deployment comparison).
+
+        ``split_at_bucket`` counts whole buckets from the front: 0 puts
+        everything in ``after``, a value past the end puts everything in
+        ``before`` (empty sides average to 0.0).  Negative values are
+        rejected — a Python-style from-the-end split would silently invert
+        the comparison.
+        """
         ratios = self.bto_ratio_series()
         gbps = self.bto_gbps_series()
         lat = self.latency_series()
@@ -103,8 +126,14 @@ class Monitor:
             "bto_ratio": self._avg(ratios),
             "bto_gbps": self._avg(gbps),
             "latency_ms": self._avg(lat),
+            "latency_p50_ms": self.latency_hist.quantile(0.5),
+            "latency_p99_ms": self.latency_hist.quantile(0.99),
         }
         if split_at_bucket is not None:
+            if split_at_bucket < 0:
+                raise ValueError(
+                    f"split_at_bucket must be >= 0, got {split_at_bucket}"
+                )
             out["before"] = {
                 "bto_ratio": self._avg(ratios[:split_at_bucket]),
                 "bto_gbps": self._avg(gbps[:split_at_bucket]),

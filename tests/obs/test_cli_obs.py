@@ -1,0 +1,104 @@
+"""CLI surface: ``simulate --trace-out/--obs-summary`` and ``repro obs``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestSimulateTracing:
+    def test_trace_out_writes_stream_and_manifest(self, tmp_path, capsys):
+        out = tmp_path / "ev.jsonl"
+        rc = main(
+            [
+                "simulate",
+                "--policy",
+                "SCIP",
+                "--workload",
+                "CDN-T",
+                "-n",
+                "4000",
+                "--trace-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert f"wrote {out}" in text
+        assert out.exists()
+        manifest = json.loads((tmp_path / "ev.jsonl.manifest.json").read_text())
+        assert manifest["policy"]["name"] == "SCIP"
+
+    def test_obs_summary_prints_registry_table(self, tmp_path, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--policy",
+                "SCIP",
+                "--workload",
+                "CDN-T",
+                "-n",
+                "4000",
+                "--obs-summary",
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "metric" in text
+        assert "w_mru" in text
+
+    def test_untraced_simulate_prints_no_obs_lines(self, capsys):
+        rc = main(["simulate", "--policy", "LRU", "--workload", "CDN-T", "-n", "4000"])
+        assert rc == 0
+        assert "wrote" not in capsys.readouterr().out
+
+
+class TestObsSubcommand:
+    def _record(self, tmp_path):
+        out = tmp_path / "ev.jsonl.gz"
+        rc = main(
+            [
+                "simulate",
+                "--policy",
+                "SCIP",
+                "--workload",
+                "CDN-T",
+                "-n",
+                "6000",
+                "--trace-out",
+                str(out),
+                "--snapshot-every",
+                "2000",
+            ]
+        )
+        assert rc == 0
+        return out
+
+    def test_reconstructs_learner_trajectories(self, tmp_path, capsys):
+        out = self._record(tmp_path)
+        capsys.readouterr()
+        rc = main(["obs", str(out), "--rows", "6"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "events" in text
+        assert "w_mru" in text and "lambda" in text
+        # Sampled table stays within the row budget (+header/footer slack).
+        data_rows = [
+            l
+            for l in text.splitlines()
+            if len(l.split()) == 4 and l.split()[0].isdigit()
+        ]
+        assert len(data_rows) <= 6
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["obs", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "no such event stream" in capsys.readouterr().out
+
+    def test_future_schema_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "future.jsonl"
+        bad.write_text(json.dumps({"event": "schema", "version": 999}) + "\n")
+        rc = main(["obs", str(bad)])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().out

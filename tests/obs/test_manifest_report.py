@@ -1,0 +1,117 @@
+"""Run manifests and the JSONL → learner-trajectory reader."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cache.lru import LRUCache
+from repro.core.scip import SCIPCache
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_revision,
+    write_manifest,
+)
+from repro.obs.report import (
+    event_counts,
+    format_learner_table,
+    format_summary,
+    learner_series,
+)
+from repro.obs.sinks import EVENT_SCHEMA
+
+
+class TestManifest:
+    def test_schema_and_environment_fields(self):
+        doc = build_manifest()
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert doc["event_schema"] == EVENT_SCHEMA
+        assert doc["python"]
+        assert doc["platform"]
+        assert "git_sha" in doc
+
+    def test_policy_scalar_params_captured(self):
+        doc = build_manifest(policy=SCIPCache(10_000, seed=42))
+        pol = doc["policy"]
+        assert pol["name"] == "SCIP"
+        assert pol["capacity"] == 10_000
+        # Seed comes from the policy when not passed explicitly.
+        assert doc["seed"] == 42
+        # No private state, containers, or callables leak into the record.
+        assert all(not k.startswith("_") for k in pol)
+        assert all(
+            isinstance(v, (bool, int, float, str)) or v is None
+            for v in pol.values()
+        )
+
+    def test_explicit_seed_wins(self):
+        doc = build_manifest(policy=SCIPCache(10_000, seed=42), seed=7)
+        assert doc["seed"] == 7
+
+    def test_seedless_policy_yields_null_seed(self):
+        assert build_manifest(policy=LRUCache(1_000))["seed"] is None
+
+    def test_trace_and_extra_sections(self, cdn_t_small):
+        doc = build_manifest(trace=cdn_t_small, extra={"warmup": 5})
+        assert doc["trace"]["name"] == "CDN-T"
+        assert doc["trace"]["requests"] == len(cdn_t_small)
+        assert doc["trace"]["working_set_size"] == cdn_t_small.working_set_size
+        assert doc["extra"] == {"warmup": 5}
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "run.manifest.json"
+        write_manifest(str(path), build_manifest(policy=LRUCache(100)))
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert doc["policy"]["name"] == "LRU"
+
+    def test_git_revision_never_raises(self):
+        rev = git_revision()
+        assert set(rev) == {"git_sha", "git_dirty"}
+
+
+class TestReport:
+    EVENTS = [
+        {"seq": 1, "event": "weight_update", "t": 10, "w_mru": 0.8, "w_lru": 0.2},
+        {"seq": 2, "event": "lambda_update", "t": 20, "value": 0.1},
+        {"seq": 3, "event": "lambda_restart", "t": 30, "value": 0.45},
+        {"seq": 4, "event": "weight_update", "t": 30, "w_mru": 0.6, "w_lru": 0.4},
+        {"seq": 5, "event": "evict", "t": 31, "key": 1, "size": 9, "hits": 0},
+    ]
+
+    def test_event_counts(self):
+        counts = event_counts(self.EVENTS)
+        assert counts == {
+            "weight_update": 2,
+            "lambda_update": 1,
+            "lambda_restart": 1,
+            "evict": 1,
+        }
+        assert "5 events" in format_summary(counts)
+        assert format_summary({}) == "(empty event stream)"
+
+    def test_learner_series(self):
+        series = learner_series(self.EVENTS)
+        assert series["weights"] == [(10, 0.8, 0.2), (30, 0.6, 0.4)]
+        # The restart point also lands in the λ trajectory.
+        assert series["lam"] == [(20, 0.1), (30, 0.45)]
+        assert series["restarts"] == [(30, 0.45)]
+
+    def test_seq_fallback_when_clockless(self):
+        series = learner_series(
+            [{"seq": 3, "event": "lambda_update", "value": 0.2}]
+        )
+        assert series["lam"] == [(3, 0.2)]
+
+    def test_format_learner_table_merges_and_samples(self):
+        table = format_learner_table(learner_series(self.EVENTS), max_rows=2)
+        lines = table.splitlines()
+        assert lines[0].split() == ["t", "w_mru", "w_lru", "lambda"]
+        # First and last merged rows survive sampling; restart footer appended.
+        assert "0.8000" in lines[1]
+        assert "0.4500" in lines[2]
+        assert lines[-1].startswith("restarts:")
+
+    def test_format_learner_table_empty(self):
+        table = format_learner_table({"weights": [], "lam": [], "restarts": []})
+        assert table == "(no learner events in stream)"

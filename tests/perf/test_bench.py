@@ -41,6 +41,32 @@ def test_engine_bench_writes_a_versioned_document(tmp_path):
     assert doc["headline"]["speedup"] == r["speedup"]
 
 
+def test_engine_bench_measures_tracing_cost(tmp_path):
+    doc = run_engine_bench(policies=["LRU"], n_requests=5_000, repeats=1, output=None)
+    r = doc["results"]["LRU"]
+    assert r["tps_traced"] > 0
+    assert r["trace_cost"] == r["tps_fast"] / r["tps_traced"]
+    assert doc["headline"]["trace_cost"] == r["trace_cost"]
+    # First run: nothing to compare the fast path against.
+    assert doc["headline"]["fast_tps_prev"] is None
+
+
+def test_engine_bench_tracks_fast_path_vs_previous_run(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    first = run_engine_bench(
+        policies=["LRU"], n_requests=5_000, repeats=1, output=str(out)
+    )
+    second = run_engine_bench(
+        policies=["LRU"], n_requests=5_000, repeats=1, output=str(out)
+    )
+    h = second["headline"]
+    assert h["fast_tps_prev"] == first["results"]["LRU"]["tps_fast"]
+    assert h["fast_change_vs_prev"] == pytest.approx(
+        second["results"]["LRU"]["tps_fast"] / h["fast_tps_prev"] - 1.0
+    )
+    assert "fast path vs previous run" in format_bench(second)
+
+
 def test_engine_bench_output_none_writes_nothing(tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)
     doc = run_engine_bench(policies=["LRU"], n_requests=2_000, repeats=1, output=None)

@@ -1,0 +1,84 @@
+"""Monitor bucket arithmetic: partial-tail Gbps, summary splits, quantiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tdc.monitor import Monitor
+
+
+def _fill(monitor: Monitor, n: int, size: int = 1000, latency: float = 10.0):
+    for _ in range(n):
+        monitor.record(origin_fetch=True, size=size, latency_ms=latency)
+
+
+class TestPartialBucketGbps:
+    def test_partial_tail_bucket_uses_its_own_duration(self):
+        """A flushed tail bucket holding half the requests spans half the
+        wall time — its Gbps must match a full bucket with the same rate."""
+        m = Monitor(bucket_requests=100, requests_per_second=100.0)
+        _fill(m, 100)  # full bucket: 100 req = 1 s
+        _fill(m, 50)   # partial tail: 50 req = 0.5 s
+        m.flush()
+        gbps = m.bto_gbps_series()
+        assert len(gbps) == 2
+        # Same per-request byte rate → same bandwidth, full or partial.
+        assert gbps[1] == pytest.approx(gbps[0])
+        assert gbps[0] == pytest.approx(100 * 1000 * 8 / 1e9 / 1.0)
+
+    def test_empty_bucket_guard(self):
+        m = Monitor(bucket_requests=10)
+        m.buckets.append(m._current.__class__(0))  # synthetic zero-request bucket
+        assert m.bto_gbps_series() == [0.0]
+
+    def test_flush_is_noop_when_current_empty(self):
+        m = Monitor(bucket_requests=10)
+        _fill(m, 10)
+        m.flush()
+        m.flush()
+        assert len(m.buckets) == 1
+        assert sum(b.requests for b in m.buckets) == 10
+
+
+class TestSummarySplit:
+    def _monitor(self):
+        m = Monitor(bucket_requests=10, requests_per_second=10.0)
+        _fill(m, 30, latency=20.0)  # three full buckets
+        return m
+
+    def test_split_at_zero_puts_everything_after(self):
+        s = self._monitor().summary(split_at_bucket=0)
+        assert s["before"] == {"bto_ratio": 0.0, "bto_gbps": 0.0, "latency_ms": 0.0}
+        assert s["after"]["bto_ratio"] == pytest.approx(1.0)
+        assert s["after"]["latency_ms"] == pytest.approx(20.0)
+
+    def test_split_past_the_end_puts_everything_before(self):
+        s = self._monitor().summary(split_at_bucket=99)
+        assert s["after"] == {"bto_ratio": 0.0, "bto_gbps": 0.0, "latency_ms": 0.0}
+        assert s["before"]["bto_ratio"] == pytest.approx(1.0)
+
+    def test_negative_split_rejected(self):
+        with pytest.raises(ValueError, match="split_at_bucket"):
+            self._monitor().summary(split_at_bucket=-1)
+
+    def test_no_split_has_no_before_after(self):
+        s = self._monitor().summary()
+        assert "before" not in s and "after" not in s
+
+
+class TestSharedHistogram:
+    def test_latency_quantiles_in_summary(self):
+        m = Monitor(bucket_requests=10)
+        for _ in range(99):
+            m.record(origin_fetch=False, size=100, latency_ms=3.0)
+        m.record(origin_fetch=False, size=100, latency_ms=500.0)
+        s = m.summary()
+        # log2-bucket upper bounds: 3 ms → bucket [2,4) → 4; tail caught by p99.
+        assert s["latency_p50_ms"] == pytest.approx(4.0)
+        assert s["latency_p99_ms"] >= 4.0
+        assert m.latency_hist.count == 100
+
+    def test_histogram_is_the_shared_obs_type(self):
+        from repro.obs.metrics import Histogram
+
+        assert isinstance(Monitor().latency_hist, Histogram)
