@@ -1,22 +1,26 @@
 """Command-line interface.
 
-Six subcommands mirror the library's workflow::
+Seven subcommands mirror the library's workflow::
 
-    python -m repro simulate  --policy SCIP --workload CDN-T --fraction 0.02 \\
-                              [--trace-out events.jsonl --obs-summary]
-    python -m repro experiment fig8 [--scale bench]
-    python -m repro workload   --name CDN-W -n 50000 -o cdnw.tr [--analyze]
-    python -m repro report     [--scale bench] -o EXPERIMENTS.md
-    python -m repro bench      [--quick] [-o BENCH_engine.json]
-    python -m repro obs        events.jsonl [--rows 24]
+    python -m repro simulate    --policy SCIP --workload CDN-T --fraction 0.02 \\
+                                [--trace-out events.jsonl --obs-summary]
+    python -m repro experiment  fig8 [--scale bench]
+    python -m repro workload    --name CDN-W -n 50000 -o cdnw.tr [--analyze]
+    python -m repro report      [--scale bench] -o EXPERIMENTS.md
+    python -m repro bench       [--quick] [-o BENCH_engine.json]
+    python -m repro serve-bench [--quick] [--shards 4] [-o BENCH_serve.json]
+    python -m repro obs         events.jsonl [--rows 24]
 
 `simulate` replays one policy on one workload (optionally recording a
 schema-versioned JSONL event stream, registry snapshots, and a run
 manifest); `experiment` prints a paper table; `workload`
 generates/analyses/saves traces; `report` regenerates the full
 paper-vs-measured document; `bench` measures engine replay throughput
-(legacy vs fast path) and persists the perf trajectory; `obs` reads an
-event stream back into the ω_m/ω_l and λ learner trajectories.
+(legacy vs fast path) and persists the perf trajectory; `serve-bench`
+runs the concurrent asyncio cache service plus its closed-loop load
+generator in one process (coalescing, backpressure, origin latency) and
+writes ``BENCH_serve.json``; `obs` reads an event stream back into the
+ω_m/ω_l and λ learner trajectories.
 """
 
 from __future__ import annotations
@@ -200,6 +204,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import run_serve_bench
+    from repro.serve.results import format_serve_doc
+
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}")
+        return 2
+    if args.concurrency is not None and args.concurrency < 1:
+        print(f"--concurrency must be >= 1, got {args.concurrency}")
+        return 2
+    # None-valued knobs fall through to the library (and quick-mode) defaults.
+    knobs = {
+        "workload": args.workload,
+        "n_requests": args.requests,
+        "concurrency": args.concurrency,
+        "rate": args.rate,
+        "origin_latency": (
+            args.origin_latency / 1000.0 if args.origin_latency is not None else None
+        ),
+        "failure_rate": args.failure_rate,
+    }
+    try:
+        doc = run_serve_bench(
+            output=args.output or None,
+            quick=args.quick,
+            policy=args.policy,
+            fraction=args.fraction,
+            n_shards=args.shards,
+            queue_depth=args.queue_depth,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            seed=args.seed,
+            **{k: v for k, v in knobs.items() if v is not None},
+        )
+    except KeyError as exc:
+        print(str(exc).strip('"\''))
+        return 2
+    except OSError as exc:
+        print(f"cannot write {args.output}: {exc}")
+        return 2
+    print(format_serve_doc(doc))
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -264,6 +314,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="BENCH_engine.json", help="result JSON path ('' to skip)")
     p.add_argument("--quick", action="store_true", help="CI smoke mode: 30k requests, 1 repeat")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="concurrent cache service + closed-loop load generator (one process)",
+    )
+    p.add_argument("--policy", default="SCIP")
+    p.add_argument("--workload", default=None, choices=["CDN-T", "CDN-W", "CDN-A"],
+                   help="workload profile (default CDN-T; --quick defaults to CDN-W)")
+    p.add_argument("-n", "--requests", type=int, default=None,
+                   help="trace length (default 50000; --quick caps at 20000)")
+    p.add_argument("--fraction", type=float, default=0.02, help="cache size as WSS fraction")
+    p.add_argument("--shards", type=int, default=4, help="key-shard count")
+    p.add_argument("--concurrency", type=int, default=None,
+                   help="closed-loop client count (default 64)")
+    p.add_argument("--queue-depth", type=int, default=256,
+                   help="per-shard pending-request bound (0 = unbounded, no shedding)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="target arrival rate, req/s (default: unpaced closed loop)")
+    p.add_argument("--origin-latency", type=float, default=None, metavar="MS",
+                   help="mean simulated origin latency in milliseconds (default 2)")
+    p.add_argument("--failure-rate", type=float, default=None,
+                   help="probability an origin fetch attempt fails (default 0)")
+    p.add_argument("--timeout", type=float, default=0.5,
+                   help="per-attempt origin timeout, seconds")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="origin fetch retries after the first attempt")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default="BENCH_serve.json",
+                   help="result JSON path ('' to skip)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: 20k-request CDN-W, 2 ms origin (~seconds)")
+    p.set_defaults(func=_cmd_serve_bench)
 
     p = sub.add_parser("obs", help="render learner trajectories from a JSONL event stream")
     p.add_argument("events", help="events.jsonl[.gz] written by simulate --trace-out")

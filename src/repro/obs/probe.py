@@ -24,6 +24,10 @@ event                emitted by
 ``lambda_update``    ``LearningRateController.update`` — λ after UPDATELR
 ``lambda_restart``   the Algorithm-2 random restart inside UPDATELR
 ``snapshot``         :class:`repro.obs.sinks.SnapshotEmitter` — registry dump
+``fetch``            ``serve.CacheShard`` — leader origin fetch started
+``fetch_retry``      serve fetch attempt failed/timed out; backing off
+``fetch_error``      serve fetch failed terminally (after all retries)
+``shed``             serve shard queue full — request rejected unserved
 ==================== ==========================================================
 
 Every record carries ``seq`` (emission order) and, when the probe has a
@@ -50,6 +54,10 @@ PROBE_EVENTS = frozenset(
         "lambda_update",
         "lambda_restart",
         "snapshot",
+        "fetch",
+        "fetch_retry",
+        "fetch_error",
+        "shed",
     }
 )
 

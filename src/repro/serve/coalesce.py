@@ -1,0 +1,84 @@
+"""Single-flight request coalescing.
+
+When many concurrent requests miss on the same cold key, a naive service
+stampedes the origin with identical fetches.  Single-flight gives each key
+at most one in-flight fetch per *generation*: the first requester becomes
+the **leader** and owns the fetch; everyone else **joins** the leader's
+future.  Resolving the fetch closes the generation — the next miss for the
+key starts a fresh one (so an evict-then-miss cycle re-fetches, but a
+burst within one fetch's lifetime costs exactly one origin round trip).
+
+The map is plain (no locks): it is only touched from the owning shard's
+event-loop context, and every operation is synchronous.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """Per-key in-flight fetch registry with leader/follower accounting.
+
+    Counters:
+
+    * ``generations`` — leases granted to leaders (= origin fetch cycles);
+    * ``coalesced`` — followers that joined an existing flight instead of
+      issuing their own fetch (the stampede savings).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[object, asyncio.Future] = {}
+        self.generations = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def lease(self, key) -> Tuple[asyncio.Future, bool]:
+        """Get-or-create the flight for ``key``.
+
+        Returns ``(future, leader)``: ``leader=True`` means the caller must
+        perform the fetch and eventually :meth:`resolve` it; ``False`` means
+        an existing flight was joined (counted as coalesced).
+        """
+        fut = self._inflight.get(key)
+        if fut is not None:
+            self.coalesced += 1
+            return fut, False
+        fut = asyncio.get_running_loop().create_future()
+        self._inflight[key] = fut
+        self.generations += 1
+        return fut, True
+
+    def join(self, key) -> Optional[asyncio.Future]:
+        """Join the in-flight fetch for ``key`` if one exists (counted as
+        coalesced), else ``None``.  Used by the hit path: a metadata hit on
+        an object whose body is still being fetched must wait for the body.
+        """
+        fut = self._inflight.get(key)
+        if fut is not None:
+            self.coalesced += 1
+        return fut
+
+    def peek(self, key) -> Optional[asyncio.Future]:
+        """Observe the flight for ``key`` without counting a join."""
+        return self._inflight.get(key)
+
+    def resolve(self, key, outcome) -> None:
+        """Complete ``key``'s generation, waking every joined waiter.
+
+        Missing keys are tolerated (a defensive resolve after an already-
+        handled failure is a no-op), as are futures cancelled by a dying
+        waiter — the generation still closes.
+        """
+        fut = self._inflight.pop(key, None)
+        if fut is not None and not fut.done():
+            fut.set_result(outcome)
+
+    def inflight_keys(self) -> list:
+        """Snapshot of keys with an open generation (diagnostics)."""
+        return list(self._inflight)

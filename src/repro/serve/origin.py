@@ -1,0 +1,257 @@
+"""Simulated origin backend: the upstream a CDN edge fetches misses from.
+
+The origin is where concurrency effects live — a trace replay only counts
+misses, but a *service* pays for them: each miss occupies an origin
+connection for a latency sample, the connection pool is bounded, fetches
+can fail or hang, and the client retries with jittered exponential
+backoff.  Everything here is simulated time (``asyncio.sleep``), so a
+50 ms origin can be driven at thousands of requests per second on one
+event loop without any real network.
+
+Determinism: latency/failure draws come from a seeded ``random.Random``.
+The *values* are reproducible; their assignment to fetches depends on
+event-loop scheduling, so tests that need exact failure placement use the
+injection hooks (:meth:`SimulatedOrigin.inject_failures` /
+:meth:`SimulatedOrigin.inject_hangs`) instead of ``failure_rate``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "OriginError",
+    "OriginConfig",
+    "SimulatedOrigin",
+    "RetryPolicy",
+    "FetchOutcome",
+    "fetch_with_retry",
+]
+
+
+class OriginError(Exception):
+    """A (simulated) origin-side fetch failure."""
+
+
+@dataclass(frozen=True)
+class OriginConfig:
+    """Knobs of the simulated origin.
+
+    Parameters
+    ----------
+    latency_mean:
+        Mean service time per fetch, seconds (0 = instant origin — the
+        equivalence tests use this to strip time out of the picture).
+    latency_jitter:
+        Uniform jitter as a fraction of the mean: a fetch takes
+        ``latency_mean * (1 ± U(0, jitter))`` seconds.
+    concurrency:
+        Maximum concurrent fetches the origin serves; excess fetches queue
+        on the semaphore (connection-pool pressure).
+    failure_rate:
+        Probability that a fetch attempt raises :class:`OriginError`
+        (drawn per attempt, seeded).
+    seed:
+        Seeds the latency/failure RNG.
+    """
+
+    latency_mean: float = 0.002
+    latency_jitter: float = 0.5
+    concurrency: int = 64
+    failure_rate: float = 0.0
+    seed: int = 0
+
+
+class SimulatedOrigin:
+    """Bounded-concurrency origin with injectable faults.
+
+    Counters (all exact, single event loop):
+
+    * ``fetches_started`` / ``fetches_ok`` / ``fetches_failed`` — attempt
+      accounting (a retried fetch counts one attempt per try);
+    * ``bytes_served`` — sum of sizes of successful fetches;
+    * ``inflight`` / ``inflight_peak`` — live and high-watermark
+      concurrency, for verifying the pool bound.
+    """
+
+    def __init__(self, config: Optional[OriginConfig] = None):
+        self.config = config or OriginConfig()
+        self._rng = random.Random(self.config.seed)
+        self._sem = asyncio.Semaphore(max(self.config.concurrency, 1))
+        self.fetches_started = 0
+        self.fetches_ok = 0
+        self.fetches_failed = 0
+        self.bytes_served = 0
+        self.inflight = 0
+        self.inflight_peak = 0
+        self._forced_failures = 0
+        self._forced_hangs = 0
+        self._hang_seconds = 3600.0
+
+    # -- fault injection ---------------------------------------------------
+    def inject_failures(self, n: int) -> None:
+        """Force the next ``n`` fetch attempts to raise :class:`OriginError`
+        (consumed before any ``failure_rate`` draw; deterministic)."""
+        self._forced_failures += n
+
+    def inject_hangs(self, n: int, seconds: float = 3600.0) -> None:
+        """Force the next ``n`` attempts to stall for ``seconds`` — long
+        enough to trip any sane client timeout."""
+        self._forced_hangs += n
+        self._hang_seconds = seconds
+
+    # -- the fetch ---------------------------------------------------------
+    def _latency(self) -> float:
+        cfg = self.config
+        if cfg.latency_mean <= 0:
+            return 0.0
+        jitter = cfg.latency_jitter * (2.0 * self._rng.random() - 1.0)
+        return max(cfg.latency_mean * (1.0 + jitter), 0.0)
+
+    async def fetch(self, key, size: int) -> int:
+        """One fetch attempt; returns the bytes served (= ``size``).
+
+        Raises :class:`OriginError` on an (injected or drawn) failure.  The
+        caller is responsible for timeouts — an injected hang sleeps inside
+        the semaphore exactly like a wedged upstream connection would.
+        """
+        self.fetches_started += 1
+        async with self._sem:
+            self.inflight += 1
+            if self.inflight > self.inflight_peak:
+                self.inflight_peak = self.inflight
+            try:
+                if self._forced_hangs > 0:
+                    self._forced_hangs -= 1
+                    await asyncio.sleep(self._hang_seconds)
+                delay = self._latency()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                if self._forced_failures > 0:
+                    self._forced_failures -= 1
+                    raise OriginError(f"injected failure for key {key!r}")
+                if self.config.failure_rate > 0 and self._rng.random() < self.config.failure_rate:
+                    raise OriginError(f"origin 5xx for key {key!r}")
+            except OriginError:
+                self.fetches_failed += 1
+                raise
+            finally:
+                self.inflight -= 1
+        self.fetches_ok += 1
+        self.bytes_served += size
+        return size
+
+    def stats(self) -> dict:
+        return {
+            "fetches_started": self.fetches_started,
+            "fetches_ok": self.fetches_ok,
+            "fetches_failed": self.fetches_failed,
+            "bytes_served": self.bytes_served,
+            "inflight_peak": self.inflight_peak,
+        }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry behaviour for origin fetches.
+
+    Parameters
+    ----------
+    timeout:
+        Per-attempt client timeout, seconds (``None`` = wait forever; the
+        equivalence tests use this to avoid timer overhead).
+    max_retries:
+        Additional attempts after the first (0 = fail fast).
+    backoff_base:
+        First backoff delay, seconds; doubles per retry.
+    backoff_cap:
+        Upper bound on any single backoff delay.
+    jitter:
+        Backoff is multiplied by ``U(1 - jitter, 1)`` — full-jitter-style
+        decorrelation so coordinated retries don't re-stampede the origin.
+    """
+
+    timeout: Optional[float] = 0.5
+    max_retries: int = 3
+    backoff_base: float = 0.005
+    backoff_cap: float = 0.25
+    jitter: float = 0.5
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry ``attempt`` (1-based)."""
+        raw = min(self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap)
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+class FetchOutcome:
+    """Terminal result of one (possibly retried) origin fetch."""
+
+    __slots__ = ("key", "size", "ok", "error", "attempts", "timeouts", "elapsed")
+
+    def __init__(
+        self,
+        key,
+        size: int,
+        ok: bool,
+        error: Optional[str],
+        attempts: int,
+        timeouts: int,
+        elapsed: float,
+    ):
+        self.key = key
+        self.size = size
+        self.ok = ok
+        self.error = error
+        self.attempts = attempts
+        self.timeouts = timeouts
+        self.elapsed = elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "ok" if self.ok else f"error={self.error!r}"
+        return f"FetchOutcome(key={self.key!r}, {state}, attempts={self.attempts})"
+
+
+async def fetch_with_retry(
+    origin: SimulatedOrigin,
+    key,
+    size: int,
+    retry: RetryPolicy,
+    rng: random.Random,
+    on_retry: Optional[Callable[[int, str], None]] = None,
+) -> FetchOutcome:
+    """Fetch ``key`` with per-attempt timeout and jittered backoff.
+
+    Never raises: failures after the final attempt are folded into the
+    returned :class:`FetchOutcome` (``ok=False``), so a wedged origin
+    degrades the service's metrics instead of crashing its tasks.
+    ``on_retry(attempt, reason)`` fires before each backoff sleep — the
+    shard wires it to the ``fetch_retry`` probe event and counter.
+    """
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    attempts = 0
+    timeouts = 0
+    error: Optional[str] = None
+    for attempt in range(retry.max_retries + 1):
+        attempts += 1
+        try:
+            if retry.timeout is None:
+                await origin.fetch(key, size)
+            else:
+                await asyncio.wait_for(origin.fetch(key, size), retry.timeout)
+            return FetchOutcome(key, size, True, None, attempts, timeouts, loop.time() - start)
+        except asyncio.TimeoutError:
+            timeouts += 1
+            error = f"timeout after {retry.timeout}s"
+        except OriginError as exc:
+            error = str(exc)
+        if attempt < retry.max_retries:
+            if on_retry is not None:
+                on_retry(attempts, error)
+            delay = retry.backoff(attempt + 1, rng)
+            if delay > 0:
+                await asyncio.sleep(delay)
+    return FetchOutcome(key, size, False, error, attempts, timeouts, loop.time() - start)

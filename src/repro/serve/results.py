@@ -1,0 +1,214 @@
+"""Serve-side result records: per-request outcomes, the shared metrics
+bundle, and the ``BENCH_serve.json`` document.
+
+The metrics bundle is a thin façade over a :class:`repro.obs.metrics.
+MetricsRegistry` — the same instrument vocabulary the engine and the TDC
+monitor use — so a serve run snapshots into the exact shape the obs sinks
+and the CLI already render.  Latency histograms are the obs log2
+``Histogram`` observed in **microseconds** (integer buckets cover 1 µs …
+~70 min, plenty for a simulated origin).
+
+``BENCH_serve.json`` (schema :data:`SERVE_BENCH_SCHEMA`) mirrors the
+``BENCH_engine.json`` pattern: one self-describing JSON document per run,
+with the run manifest (git SHA, platform, schema versions) embedded so CI
+artifacts stay reproducible evidence rather than anecdotes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "SERVE_BENCH_SCHEMA",
+    "ServeOutcome",
+    "ServeMetrics",
+    "latency_summary",
+    "build_serve_doc",
+    "write_serve_doc",
+    "format_serve_doc",
+]
+
+#: Version of the ``BENCH_serve.json`` layout; bump on breaking changes.
+SERVE_BENCH_SCHEMA = 1
+
+
+class ServeOutcome:
+    """What one ``service.get`` call resolved to.
+
+    Attributes
+    ----------
+    hit:
+        Cache decision (metadata residency at lookup time) — bit-comparable
+        with :meth:`repro.cache.base.CachePolicy.request`.
+    coalesced:
+        The request waited on another request's origin fetch instead of
+        issuing its own (miss-follower or hit-on-in-flight-body).
+    shed:
+        The request was rejected at admission because the shard queue was
+        full; it never reached the policy (``hit`` is ``False``).
+    error:
+        Terminal origin-fetch error string after all retries, or ``None``.
+    shard:
+        Index of the shard that served (or shed) the request.
+    """
+
+    __slots__ = ("hit", "coalesced", "shed", "error", "shard")
+
+    def __init__(
+        self,
+        hit: bool,
+        coalesced: bool = False,
+        shed: bool = False,
+        error: Optional[str] = None,
+        shard: int = 0,
+    ):
+        self.hit = hit
+        self.coalesced = coalesced
+        self.shed = shed
+        self.error = error
+        self.shard = shard
+
+    @property
+    def ok(self) -> bool:
+        return not self.shed and self.error is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flags = "".join(
+            f for f, on in (("H", self.hit), ("C", self.coalesced), ("S", self.shed)) if on
+        )
+        return f"ServeOutcome({flags or 'M'}, error={self.error!r}, shard={self.shard})"
+
+
+class ServeMetrics:
+    """Shared serve instruments, created once per service from a registry.
+
+    All shards of a service feed the same instruments (one event loop —
+    no contention); per-shard detail that matters (shed) is labelled.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.requests = r.counter("serve_requests")
+        self.hits = r.counter("serve_hits")
+        self.misses = r.counter("serve_misses")
+        self.shed = r.counter("serve_shed")
+        self.coalesced = r.counter("serve_coalesced_waits")
+        self.errors = r.counter("serve_errors")
+        self.unhandled = r.counter("serve_unhandled_exceptions")
+        self.origin_fetches = r.counter("origin_fetches")
+        self.origin_retries = r.counter("origin_retries")
+        self.origin_timeouts = r.counter("origin_timeouts")
+        self.origin_failures = r.counter("origin_failures")
+        self.latency_us = r.histogram("serve_latency_us")
+        self.origin_latency_us = r.histogram("origin_latency_us")
+        self.queue_depth = r.histogram("serve_queue_depth")
+
+    def shard_shed(self, shard_id: int):
+        """Per-shard shed counter (labelled); also bump :attr:`shed`."""
+        return self.registry.counter("serve_shed_by_shard", shard=str(shard_id))
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+
+def latency_summary(hist: Histogram) -> dict:
+    """Render a µs-observed histogram as the doc's latency block."""
+    return {
+        "count": hist.count,
+        "mean_us": hist.mean,
+        "min_us": hist.min,
+        "max_us": hist.max,
+        "p50_us": hist.quantile(0.5),
+        "p90_us": hist.quantile(0.9),
+        "p99_us": hist.quantile(0.99),
+    }
+
+
+def build_serve_doc(
+    config: dict,
+    loadgen: dict,
+    metrics: ServeMetrics,
+    origin_stats: dict,
+    flight: dict,
+    policy_stats: dict,
+    stampede: Optional[dict] = None,
+    manifest: Optional[dict] = None,
+) -> dict:
+    """Assemble the ``BENCH_serve.json`` document from run pieces."""
+    doc = {
+        "schema": SERVE_BENCH_SCHEMA,
+        "config": dict(config),
+        "loadgen": dict(loadgen),
+        "cache": dict(policy_stats),
+        "origin": {
+            **origin_stats,
+            "retries": metrics.origin_retries.value,
+            "timeouts": metrics.origin_timeouts.value,
+            "terminal_failures": metrics.origin_failures.value,
+            "coalesced_waits": metrics.coalesced.value,
+            "generations": flight.get("generations", 0),
+        },
+        "shed": metrics.shed.value,
+        "errors": metrics.errors.value,
+        "unhandled_exceptions": metrics.unhandled.value,
+        "latency": latency_summary(metrics.latency_us),
+        "origin_latency": latency_summary(metrics.origin_latency_us),
+        "registry": metrics.snapshot(),
+    }
+    if stampede is not None:
+        doc["stampede"] = dict(stampede)
+    if manifest is not None:
+        doc["manifest"] = manifest
+    return doc
+
+
+def write_serve_doc(doc: dict, path: str) -> str:
+    """Persist the document as pretty JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return str(path)
+
+
+def format_serve_doc(doc: dict) -> str:
+    """Human-readable summary of one serve-bench document."""
+    cfg = doc["config"]
+    lg = doc["loadgen"]
+    lat = doc["latency"]
+    origin = doc["origin"]
+    lines = [
+        (
+            f"serve bench — {cfg.get('workload', '?')} × {lg['requests']:,} requests, "
+            f"{cfg.get('n_shards', '?')} shards × depth {cfg.get('queue_depth', '?')}, "
+            f"concurrency {cfg.get('concurrency', '?')}, policy {cfg.get('policy', '?')}"
+        ),
+        (
+            f"throughput {lg['throughput_rps']:,.0f} req/s · hit ratio "
+            f"{lg['hit_ratio']:.4f} · elapsed {lg['elapsed_s']:.2f} s"
+        ),
+        (
+            f"latency µs: p50 {lat['p50_us']:,.0f}  p90 {lat['p90_us']:,.0f}  "
+            f"p99 {lat['p99_us']:,.0f}  mean {lat['mean_us']:,.0f}"
+        ),
+        (
+            f"origin: {origin['fetches_started']:,} attempts over "
+            f"{origin['generations']:,} generations · {origin['coalesced_waits']:,} "
+            f"coalesced waits · {origin['retries']:,} retries "
+            f"({origin['timeouts']:,} timeouts, {origin['terminal_failures']:,} terminal)"
+        ),
+        (
+            f"shed {doc['shed']:,} · errors {doc['errors']:,} · "
+            f"unhandled exceptions {doc['unhandled_exceptions']:,}"
+        ),
+    ]
+    if "stampede" in doc:
+        st = doc["stampede"]
+        lines.append(
+            f"stampede probe: {st['clients']:,} clients → {st['origin_fetches']:,} "
+            f"origin fetch(es), {st['coalesced']:,} coalesced"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""The concurrent cache service: N key-sharded policy workers behind one
+async ``get``.
+
+``CacheService`` is the serving-path analogue of :func:`repro.sim.engine.
+simulate`: the same policies, the same write-on-miss admission, but driven
+by concurrent callers instead of a synchronous replay loop.  Requests are
+routed to shards by key hash; each shard owns its policy exclusively (see
+:mod:`repro.serve.shard`), misses coalesce through per-shard single-flight
+maps, and origin traffic flows through one shared bounded
+:class:`~repro.serve.origin.SimulatedOrigin`.
+
+Equivalence anchor: with ``n_shards=1`` and a single closed-loop client,
+requests reach the policy in trace order one at a time, so the hit/miss
+sequence is bit-identical to ``sim.engine`` on the same trace —
+``tests/serve/test_equivalence.py`` pins this.
+
+Capacity is split evenly across shards (a real deployment provisions per
+instance); with one shard the service sees the full budget, keeping the
+equivalence comparison honest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cache.base import CachePolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.origin import OriginConfig, RetryPolicy, SimulatedOrigin
+from repro.serve.results import ServeMetrics, ServeOutcome
+from repro.serve.shard import CacheShard
+from repro.sim.request import Request
+
+__all__ = ["CacheService"]
+
+
+class CacheService:
+    """Asyncio cache service fronting sharded single-owner policies.
+
+    Parameters
+    ----------
+    policy_factory:
+        ``capacity_bytes -> CachePolicy``; called once per shard with the
+        shard's slice of the budget.  Fresh instances only — shards must
+        not share policy state.
+    capacity:
+        Total cache budget in bytes, split evenly across shards.
+    n_shards:
+        Number of key-shards (each with its own queue + worker).
+    origin:
+        Shared :class:`SimulatedOrigin` (default: a 2 ms origin).
+    retry:
+        Client-side :class:`RetryPolicy` for origin fetches.
+    queue_depth:
+        Per-shard pending-request bound; overflow is shed (0 = unbounded).
+    registry:
+        Metrics registry to instrument into (default: a private one);
+        pass an :class:`repro.obs.ObsSession`'s registry to fold a serve
+        run into an existing observability pipeline.
+    probe:
+        Optional obs probe for serve events (``fetch``, ``fetch_retry``,
+        ``fetch_error``, ``shed``).
+    seed:
+        Decorrelates per-shard backoff jitter.
+    """
+
+    def __init__(
+        self,
+        policy_factory: Callable[[int], CachePolicy],
+        capacity: int,
+        n_shards: int = 4,
+        origin: Optional[SimulatedOrigin] = None,
+        retry: Optional[RetryPolicy] = None,
+        queue_depth: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
+        probe=None,
+        seed: int = 0,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if capacity < n_shards:
+            raise ValueError(
+                f"capacity {capacity} cannot be split over {n_shards} shards"
+            )
+        self.capacity = int(capacity)
+        self.origin = origin if origin is not None else SimulatedOrigin(OriginConfig())
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.metrics = ServeMetrics(registry)
+        per_shard = self.capacity // n_shards
+        self.shards: List[CacheShard] = [
+            CacheShard(
+                i,
+                policy_factory(per_shard),
+                self.origin,
+                self.retry,
+                self.metrics,
+                queue_depth=queue_depth,
+                probe=probe,
+                seed=seed,
+            )
+            for i in range(n_shards)
+        ]
+        self._n = n_shards
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "CacheService":
+        if not self._started:
+            for shard in self.shards:
+                shard.start()
+            self._started = True
+        return self
+
+    async def close(self) -> None:
+        """Drain every shard queue and settle all in-flight origin fetches."""
+        if self._started:
+            for shard in self.shards:
+                await shard.close()
+            self._started = False
+
+    async def __aenter__(self) -> "CacheService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- the request API ---------------------------------------------------
+    def shard_for(self, key) -> CacheShard:
+        return self.shards[hash(key) % self._n]
+
+    async def get(self, req: Request) -> ServeOutcome:
+        """Serve one request: route to its shard, await the outcome.
+
+        Never raises for data-plane conditions — shedding and terminal
+        origin failures come back as fields on the outcome, so one bad key
+        can't unwind a caller driving thousands of concurrent gets.
+        """
+        if not self._started:
+            raise RuntimeError("CacheService.get before start() (use 'async with')")
+        m = self.metrics
+        m.requests.inc()
+        shard = self.shards[hash(req.key) % self._n]
+        m.queue_depth.observe(shard.queue.qsize())
+        return await shard.submit(req)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def unhandled_exceptions(self) -> int:
+        """Count of exceptions that escaped worker/fetch tasks (should be
+        zero; CI asserts it)."""
+        return self.metrics.unhandled.value
+
+    def cache_stats(self) -> dict:
+        """Aggregate policy counters across shards (engine-comparable)."""
+        hits = misses = bytes_hit = bytes_missed = evictions = bypasses = 0
+        resident = used = 0
+        for shard in self.shards:
+            st = shard.policy.stats
+            hits += st.hits
+            misses += st.misses
+            bytes_hit += st.bytes_hit
+            bytes_missed += st.bytes_missed
+            evictions += st.evictions
+            bypasses += st.bypasses
+            used += shard.policy.used
+            try:
+                resident += len(shard.policy)
+            except (NotImplementedError, TypeError):
+                pass
+        requests = hits + misses
+        total_bytes = bytes_hit + bytes_missed
+        return {
+            "requests": requests,
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": hits / requests if requests else 0.0,
+            "miss_ratio": misses / requests if requests else 0.0,
+            "byte_miss_ratio": bytes_missed / total_bytes if total_bytes else 0.0,
+            "evictions": evictions,
+            "bypasses": bypasses,
+            "resident_objects": resident,
+            "used_bytes": used,
+            "capacity_bytes": self.capacity,
+        }
+
+    def flight_stats(self) -> dict:
+        """Single-flight accounting summed across shards."""
+        return {
+            "generations": sum(s.flight.generations for s in self.shards),
+            "coalesced": sum(s.flight.coalesced for s in self.shards),
+            "open": sum(len(s.flight) for s in self.shards),
+        }
+
+    def stats(self) -> dict:
+        return {
+            "cache": self.cache_stats(),
+            "flight": self.flight_stats(),
+            "origin": self.origin.stats(),
+            "shed": sum(s.shed_count for s in self.shards),
+            "unhandled_exceptions": self.unhandled_exceptions,
+            "shards": [s.stats() for s in self.shards],
+        }

@@ -1,0 +1,266 @@
+"""One cache shard: a single-owner policy behind a bounded request queue.
+
+Concurrency model — the whole point of the design:
+
+* **All policy state is owned by one worker task.**  The worker pops
+  requests off the shard queue and runs the *entire* cache decision
+  (lookup → hit/miss → admit/evict) as one synchronous block, so policy
+  internals (intrusive queue splices, SCIP's bandit state) need no locks
+  and interleave with nothing — the decision sequence for a given arrival
+  order is exactly what :meth:`repro.cache.base.CachePolicy.request`
+  produces, which is what pins serve↔engine equivalence.
+* **The worker never awaits the origin.**  A miss leases the key's
+  single-flight future and, if it is the leader, spawns a separate fetch
+  task; the caller's future is chained to the flight.  The worker moves
+  straight to the next queued request, so one slow origin fetch never
+  head-of-line-blocks the shard.
+* **Backpressure is the queue bound.**  ``submit`` never blocks: when the
+  queue is full the request is **shed** — counted, surfaced to the caller
+  as a ``shed`` outcome, and never shown to the policy (a shed request
+  must not perturb cache state).
+
+Failure containment: a terminal origin failure (after retries) resolves
+every coalesced waiter with an error outcome and silently removes the
+object's metadata from the policy (it was admitted write-on-miss but the
+body never arrived), so the next request starts a fresh fetch generation.
+The worker itself is wrapped so a policy bug degrades one request and
+increments ``serve_unhandled_exceptions`` instead of killing the shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from functools import partial
+from typing import Optional
+
+from repro.cache.base import CachePolicy
+from repro.serve.coalesce import SingleFlight
+from repro.serve.origin import FetchOutcome, RetryPolicy, SimulatedOrigin, fetch_with_retry
+from repro.serve.results import ServeMetrics, ServeOutcome
+from repro.sim.request import Request
+
+__all__ = ["CacheShard"]
+
+#: Queue sentinel asking the worker to exit after draining earlier items.
+_CLOSE = object()
+
+
+class CacheShard:
+    """A key-shard of the service: one policy, one queue, one worker.
+
+    Parameters
+    ----------
+    shard_id:
+        Index within the service (metric label, outcome field).
+    policy:
+        The shard's private :class:`~repro.cache.base.CachePolicy`; nothing
+        else may touch it.
+    origin, retry:
+        Shared origin backend and the client-side retry policy.
+    metrics:
+        The service-wide :class:`~repro.serve.results.ServeMetrics` bundle.
+    queue_depth:
+        Bound of the pending-request queue (0 = unbounded, no shedding).
+    probe:
+        Optional :class:`repro.obs.probe.Probe` for ``fetch`` /
+        ``fetch_retry`` / ``fetch_error`` / ``shed`` events.
+    seed:
+        Seeds the backoff-jitter RNG (decorrelated per shard).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        policy: CachePolicy,
+        origin: SimulatedOrigin,
+        retry: RetryPolicy,
+        metrics: ServeMetrics,
+        queue_depth: int = 1024,
+        probe=None,
+        seed: int = 0,
+    ):
+        self.shard_id = shard_id
+        self.policy = policy
+        self.origin = origin
+        self.retry = retry
+        self.metrics = metrics
+        self.probe = probe
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=max(queue_depth, 0))
+        self.flight = SingleFlight()
+        self.shed_count = 0
+        self._shed_counter = metrics.shard_shed(shard_id)
+        self._rng = random.Random((seed * 2654435761 + shard_id) & 0xFFFFFFFF)
+        self._worker: Optional[asyncio.Task] = None
+        self._fetch_tasks: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._worker is None:
+            self._worker = asyncio.get_running_loop().create_task(
+                self._run(), name=f"repro-serve-shard-{self.shard_id}"
+            )
+
+    async def close(self) -> None:
+        """Drain the queue, stop the worker, and settle in-flight fetches."""
+        if self._worker is not None:
+            await self.queue.put(_CLOSE)
+            await self._worker
+            self._worker = None
+        while self._fetch_tasks:
+            await asyncio.gather(*list(self._fetch_tasks), return_exceptions=True)
+
+    # -- request admission (caller side) -----------------------------------
+    def submit(self, req: Request) -> "asyncio.Future[ServeOutcome]":
+        """Enqueue one request; never blocks.
+
+        Returns a future resolving to the request's :class:`ServeOutcome`.
+        A full queue sheds the request immediately (load shedding) — the
+        future resolves right away with ``shed=True``.
+        """
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self.queue.put_nowait((req, fut))
+        except asyncio.QueueFull:
+            self.shed_count += 1
+            self.metrics.shed.inc()
+            self._shed_counter.inc()
+            if self.probe is not None:
+                self.probe.emit("shed", key=req.key, shard=self.shard_id)
+            fut.set_result(ServeOutcome(False, shed=True, shard=self.shard_id))
+        return fut
+
+    # -- worker side -------------------------------------------------------
+    async def _run(self) -> None:
+        queue = self.queue
+        while True:
+            item = await queue.get()
+            if item is _CLOSE:
+                queue.task_done()
+                return
+            req, fut = item
+            try:
+                self._serve(req, fut)
+            except Exception as exc:  # a policy bug must not kill the shard
+                self.metrics.unhandled.inc()
+                if not fut.done():
+                    fut.set_result(
+                        ServeOutcome(False, error=f"internal: {exc!r}", shard=self.shard_id)
+                    )
+            finally:
+                queue.task_done()
+
+    def _serve(self, req: Request, fut: asyncio.Future) -> None:
+        """One complete cache decision — synchronous, single-owner."""
+        m = self.metrics
+        hit = self.policy.request(req)
+        if hit:
+            m.hits.inc()
+            pending = self.flight.join(req.key)
+            if pending is None:
+                if not fut.done():
+                    fut.set_result(ServeOutcome(True, shard=self.shard_id))
+            else:
+                # Metadata is resident but the body is still on the wire
+                # from an earlier miss: wait for that same fetch.
+                m.coalesced.inc()
+                self._chain(pending, fut, hit=True, coalesced=True)
+            return
+        m.misses.inc()
+        lease, leader = self.flight.lease(req.key)
+        if leader:
+            task = asyncio.get_running_loop().create_task(self._fetch(req.key, req.size))
+            self._fetch_tasks.add(task)
+            task.add_done_callback(partial(self._on_fetch_done, req.key))
+        else:
+            m.coalesced.inc()
+        self._chain(lease, fut, hit=False, coalesced=not leader)
+
+    def _chain(
+        self, lease: asyncio.Future, fut: asyncio.Future, hit: bool, coalesced: bool
+    ) -> None:
+        """Resolve ``fut`` from the flight's terminal :class:`FetchOutcome`."""
+        shard_id = self.shard_id
+        errors = self.metrics.errors
+
+        def _done(f: asyncio.Future) -> None:
+            if fut.done():  # caller went away (cancelled loadgen)
+                return
+            outcome: FetchOutcome = f.result()
+            if outcome.error is not None:
+                errors.inc()
+            fut.set_result(
+                ServeOutcome(hit, coalesced=coalesced, error=outcome.error, shard=shard_id)
+            )
+
+        lease.add_done_callback(_done)
+
+    # -- origin fetch (leader task) ----------------------------------------
+    async def _fetch(self, key, size: int) -> None:
+        m = self.metrics
+        m.origin_fetches.inc()
+        probe = self.probe
+        if probe is not None:
+            probe.emit("fetch", key=key, size=size, shard=self.shard_id)
+
+        def on_retry(attempt: int, reason: str) -> None:
+            m.origin_retries.inc()
+            if probe is not None:
+                probe.emit(
+                    "fetch_retry", key=key, attempt=attempt, reason=reason, shard=self.shard_id
+                )
+
+        outcome = await fetch_with_retry(
+            self.origin, key, size, self.retry, self._rng, on_retry
+        )
+        if outcome.timeouts:
+            m.origin_timeouts.inc(outcome.timeouts)
+        if outcome.ok:
+            m.origin_latency_us.observe(int(outcome.elapsed * 1e6))
+        else:
+            m.origin_failures.inc()
+            if probe is not None:
+                probe.emit(
+                    "fetch_error",
+                    key=key,
+                    error=outcome.error,
+                    attempts=outcome.attempts,
+                    shard=self.shard_id,
+                )
+            # The body never arrived: drop the write-on-miss metadata so the
+            # policy doesn't serve phantom hits; the next request opens a
+            # fresh fetch generation.
+            remove = getattr(self.policy, "remove", None)
+            if remove is not None:
+                remove(key)
+        self.flight.resolve(key, outcome)
+
+    def _on_fetch_done(self, key, task: asyncio.Task) -> None:
+        self._fetch_tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            # A bug in the fetch path itself: count it and make sure no
+            # waiter is stranded on an unresolved generation.
+            self.metrics.unhandled.inc()
+            self.flight.resolve(
+                key, FetchOutcome(key, 0, False, f"internal: {exc!r}", 0, 0, 0.0)
+            )
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict:
+        try:
+            resident = len(self.policy)
+        except (NotImplementedError, TypeError):
+            resident = None
+        return {
+            "shard": self.shard_id,
+            "resident_objects": resident,
+            "used_bytes": self.policy.used,
+            "capacity_bytes": self.policy.capacity,
+            "shed": self.shed_count,
+            "generations": self.flight.generations,
+            "coalesced": self.flight.coalesced,
+            "policy": self.policy.stats.as_dict(),
+        }

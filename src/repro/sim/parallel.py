@@ -13,10 +13,33 @@ preserved exactly (same seeds as the serial path).
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["run_grid_parallel", "Cell"]
+__all__ = ["default_worker_count", "run_grid_parallel", "Cell"]
+
+
+def default_worker_count() -> int:
+    """Affinity-aware usable-CPU count for pool sizing.
+
+    ``os.cpu_count()`` reports the machine; a containerised or
+    ``taskset``-restricted process may own far fewer cores, and
+    oversubscribing a trace-replay pool just thrashes.  Preference order:
+    ``os.process_cpu_count`` (3.13+), the scheduler affinity mask, then
+    plain ``cpu_count`` — never less than 1.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        n = getter()
+        if n:
+            return n
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(len(os.sched_getaffinity(0)), 1)
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
 
 #: (policy_name, policy_kwargs, workload_name, n_requests, cache_fraction)
 Cell = Tuple[str, dict, str, int, float]
@@ -65,7 +88,10 @@ def run_grid_parallel(
     cache_fractions:
         Flat fractions or per-workload mapping.
     max_workers:
-        Pool size (default: ``os.cpu_count()``).
+        Pool size; ``None`` uses :func:`default_worker_count` (affinity-
+        aware, not raw ``os.cpu_count``), clamped to the cell count.  A
+        one-cell grid (or ``max_workers=1``) runs in-process — no pool
+        spawn, pickling, or fork overhead for what is a serial job anyway.
     """
     if not isinstance(policies, Mapping):
         policies = {name: {} for name in policies}
@@ -79,5 +105,12 @@ def run_grid_parallel(
         for fraction in fractions:
             for name, kwargs in policies.items():
                 cells.append((name, dict(kwargs), workload, n_requests, fraction))
+    if max_workers is None:
+        max_workers = default_worker_count()
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    max_workers = min(max_workers, max(len(cells), 1))
+    if max_workers == 1 or len(cells) <= 1:
+        return [_run_cell(cell) for cell in cells]
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(_run_cell, cells))

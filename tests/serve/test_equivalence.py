@@ -1,0 +1,120 @@
+"""Serve ↔ engine equivalence: the serving path changes *when* requests
+happen, never *what the cache decides*.
+
+A 1-shard service driven by a single closed-loop client sees requests in
+trace order, one at a time — exactly the engine's replay loop.  The
+per-request hit/miss sequence, the aggregate counters, and the resident
+set must therefore be bit-identical to :func:`repro.sim.engine.simulate`
+on the same trace, for a plain policy (LRU) and for the paper's learned
+policy (SCIP, whose bandit draws depend on the request sequence alone).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.core.scip import SCIPCache
+from repro.serve import (
+    CacheService,
+    OriginConfig,
+    RetryPolicy,
+    SimulatedOrigin,
+    run_loadgen,
+)
+from repro.sim.engine import simulate
+
+POLICIES = {"LRU": LRUCache, "SCIP": SCIPCache}
+
+
+def _serial_service(factory, capacity):
+    """The equivalence configuration: one shard, instant origin, no retry
+    timers, unbounded queue (nothing shed, nothing reordered)."""
+    return CacheService(
+        factory,
+        capacity,
+        n_shards=1,
+        origin=SimulatedOrigin(OriginConfig(latency_mean=0.0)),
+        retry=RetryPolicy(timeout=None, max_retries=0),
+        queue_depth=0,
+    )
+
+
+async def _serve_decisions(factory, capacity, requests):
+    service = _serial_service(factory, capacity)
+    decisions: list = []
+    async with service:
+        summary = await run_loadgen(service, requests, concurrency=1, decisions=decisions)
+    return decisions, summary, service
+
+
+@pytest.mark.parametrize("pname", sorted(POLICIES))
+def test_serial_serve_matches_engine_decisions(pname, cdn_t_small):
+    """Per-request hit/miss booleans match the engine's bulk replay exactly."""
+    trace = cdn_t_small
+    capacity = max(int(trace.working_set_size * 0.02), 1)
+    factory = POLICIES[pname]
+
+    engine_policy = factory(capacity)
+    engine_out: list = []
+    engine_policy.replay(trace.requests, engine_out)
+
+    decisions, summary, service = asyncio.run(
+        _serve_decisions(factory, capacity, trace.requests)
+    )
+
+    assert len(decisions) == len(trace)
+    assert decisions == engine_out
+    st = service.cache_stats()
+    assert st["hits"] == engine_policy.stats.hits
+    assert st["misses"] == engine_policy.stats.misses
+    assert st["evictions"] == engine_policy.stats.evictions
+    assert st["byte_miss_ratio"] == engine_policy.stats.byte_miss_ratio
+    # Resident sets agree too (same admissions, same evictions, same order).
+    assert service.shards[0].policy.resident_keys() == engine_policy.resident_keys()
+    # Nothing was shed or errored in the serial configuration.
+    assert summary["shed"] == 0 and summary["errors"] == 0
+    assert service.unhandled_exceptions == 0
+
+
+def test_serial_serve_matches_simulate_aggregates(cdn_t_small):
+    """The SimResult aggregates (the paper-table numbers) are reproduced."""
+    trace = cdn_t_small
+    capacity = max(int(trace.working_set_size * 0.02), 1)
+    res = simulate(SCIPCache(capacity), trace)
+
+    _, _, service = asyncio.run(_serve_decisions(SCIPCache, capacity, trace.requests))
+    st = service.cache_stats()
+    assert st["miss_ratio"] == res.miss_ratio
+    assert st["byte_miss_ratio"] == res.byte_miss_ratio
+
+
+def test_sharded_serve_preserves_aggregate_shape(cdn_t_small):
+    """Sharding changes per-shard capacities, not correctness: every request
+    is decided by exactly one policy and the counters add up."""
+    trace = cdn_t_small
+    capacity = max(int(trace.working_set_size * 0.02), 4)
+
+    async def run():
+        service = CacheService(
+            LRUCache,
+            capacity,
+            n_shards=4,
+            origin=SimulatedOrigin(OriginConfig(latency_mean=0.0)),
+            retry=RetryPolicy(timeout=None, max_retries=0),
+            queue_depth=0,
+        )
+        async with service:
+            summary = await run_loadgen(service, trace.requests, concurrency=8)
+        return summary, service
+
+    summary, service = asyncio.run(run())
+    st = service.cache_stats()
+    assert st["requests"] == len(trace)
+    assert st["hits"] + st["misses"] == len(trace)
+    assert summary["hits"] == st["hits"]
+    # Each key is pinned to one shard: summed residents never exceed uniques.
+    assert st["resident_objects"] <= trace.unique_objects
+    assert service.unhandled_exceptions == 0

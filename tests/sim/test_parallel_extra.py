@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.parallel import run_grid_parallel
+import repro.sim.parallel as parallel_mod
+from repro.sim.parallel import default_worker_count, run_grid_parallel
 
 
 class TestParallelGrid:
@@ -35,3 +36,54 @@ class TestParallelGrid:
     def test_unknown_policy_raises_in_worker(self):
         with pytest.raises(Exception):
             run_grid_parallel(["NOPE"], ["CDN-T"], 2_000, [0.02], max_workers=1)
+
+
+class TestWorkerSizing:
+    def test_default_worker_count_is_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_single_cell_runs_in_process(self, monkeypatch):
+        """A one-cell grid (even with max_workers unset) must not pay the
+        pool spawn: the serial fallback never touches the executor."""
+
+        def _explode(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("ProcessPoolExecutor spawned for a 1-cell grid")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _explode)
+        rows = run_grid_parallel(["LRU"], ["CDN-T"], 2_000, [0.02])
+        assert len(rows) == 1
+        assert rows[0]["policy"] == "LRU" and rows[0]["trace"] == "CDN-T"
+
+    def test_max_workers_one_runs_in_process(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_mod,
+            "ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("pool spawned")),
+        )
+        rows = run_grid_parallel(
+            ["LRU", "FIFO"], ["CDN-T"], 2_000, [0.02], max_workers=1
+        )
+        assert {r["policy"] for r in rows} == {"LRU", "FIFO"}
+
+    def test_serial_fallback_matches_pooled_result(self):
+        kwargs = dict(
+            policies=["LRU"],
+            workloads=["CDN-T"],
+            n_requests=3_000,
+            cache_fractions=[0.02, 0.05],
+        )
+        serial = run_grid_parallel(max_workers=1, **kwargs)
+        pooled = run_grid_parallel(max_workers=2, **kwargs)
+        # Drop wall-clock-derived fields; everything else is deterministic.
+        timing = {"tps", "cpu_seconds", "peak_alloc_bytes"}
+        strip = lambda rows: [
+            {k: v for k, v in r.items() if k not in timing} for r in rows
+        ]
+        assert strip(serial) == strip(pooled)
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            run_grid_parallel(["LRU"], ["CDN-T"], 1_000, [0.02], max_workers=0)
+
+    def test_empty_grid_returns_empty(self):
+        assert run_grid_parallel([], ["CDN-T"], 1_000, [0.02]) == []

@@ -1,0 +1,92 @@
+"""Round-trip coverage for :mod:`repro.traces.io`.
+
+Both on-disk formats (LRB ``time key size`` and headered CSV) must
+preserve keys, sizes, and request order exactly, and corrupt files must
+fail with a clear error rather than producing a silently-wrong trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.request import Request, Trace
+from repro.traces.cdn import make_workload
+from repro.traces.io import read_csv, read_lrb, write_csv, write_lrb
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return make_workload("CDN-T", n_requests=2_000)
+
+
+def _assert_same_requests(a: Trace, b: Trace) -> None:
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert (ra.time, ra.key, ra.size) == (rb.time, rb.key, rb.size)
+
+
+class TestRoundTrip:
+    def test_lrb_preserves_keys_sizes_and_order(self, small_trace, tmp_path):
+        path = tmp_path / "trace.lrb"
+        write_lrb(small_trace, path)
+        back = read_lrb(path)
+        _assert_same_requests(small_trace, back)
+        # Derived aggregates survive the trip too.
+        assert back.working_set_size == small_trace.working_set_size
+        assert back.unique_objects == small_trace.unique_objects
+
+    def test_csv_preserves_keys_sizes_and_order(self, small_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(small_trace, path)
+        back = read_csv(path)
+        _assert_same_requests(small_trace, back)
+
+    def test_formats_agree_with_each_other(self, small_trace, tmp_path):
+        write_lrb(small_trace, tmp_path / "t.lrb")
+        write_csv(small_trace, tmp_path / "t.csv")
+        _assert_same_requests(read_lrb(tmp_path / "t.lrb"), read_csv(tmp_path / "t.csv"))
+
+    def test_trace_name_defaults_to_stem_and_is_overridable(self, tmp_path):
+        trace = Trace([Request(0, 1, 10)], name="orig")
+        path = tmp_path / "mytrace.lrb"
+        write_lrb(trace, path)
+        assert read_lrb(path).name == "mytrace"
+        assert read_lrb(path, name="renamed").name == "renamed"
+
+    def test_blank_lines_and_rows_are_skipped(self, tmp_path):
+        lrb = tmp_path / "gaps.lrb"
+        lrb.write_text("0 1 100\n\n1 2 200\n\n")
+        assert [r.key for r in read_lrb(lrb)] == [1, 2]
+        csvp = tmp_path / "gaps.csv"
+        csvp.write_text("time,key,size\n0,1,100\n\n1,2,200\n")
+        assert [r.key for r in read_csv(csvp)] == [1, 2]
+
+
+class TestCorruptFiles:
+    def test_lrb_wrong_column_count_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.lrb"
+        path.write_text("0 1 100\n1 2\n")
+        with pytest.raises(ValueError, match=r"bad\.lrb:2"):
+            read_lrb(path)
+
+    def test_lrb_non_numeric_field_raises(self, tmp_path):
+        path = tmp_path / "bad.lrb"
+        path.write_text("0 abc 100\n")
+        with pytest.raises(ValueError):
+            read_lrb(path)
+
+    def test_csv_bad_header_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ts,id,bytes\n0,1,100\n")
+        with pytest.raises(ValueError, match="expected header"):
+            read_csv(path)
+
+    def test_csv_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="expected header"):
+            read_csv(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_lrb(tmp_path / "nope.lrb")
