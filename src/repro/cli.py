@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands mirror the library's workflow::
+Eight subcommands mirror the library's workflow::
 
     python -m repro simulate    --policy SCIP --workload CDN-T --fraction 0.02 \\
                                 [--trace-out events.jsonl --obs-summary]
@@ -9,6 +9,8 @@ Seven subcommands mirror the library's workflow::
     python -m repro report      [--scale bench] -o EXPERIMENTS.md
     python -m repro bench       [--quick] [-o BENCH_engine.json]
     python -m repro serve-bench [--quick] [--shards 4] [-o BENCH_serve.json]
+    python -m repro orchestrate-bench [--quick] [--trace diurnal] \\
+                                [-o BENCH_orchestrate.json]
     python -m repro obs         events.jsonl [--rows 24]
 
 `simulate` replays one policy on one workload (optionally recording a
@@ -19,8 +21,10 @@ paper-vs-measured document; `bench` measures engine replay throughput
 (legacy vs fast path) and persists the perf trajectory; `serve-bench`
 runs the concurrent asyncio cache service plus its closed-loop load
 generator in one process (coalescing, backpressure, origin latency) and
-writes ``BENCH_serve.json``; `obs` reads an event stream back into the
-ω_m/ω_l and λ learner trajectories.
+writes ``BENCH_serve.json``; `orchestrate-bench` runs the shadow-cache
+policy orchestrator against every fixed candidate on a nonstationary
+drift trace and writes ``BENCH_orchestrate.json``; `obs` reads an event
+stream back into the ω_m/ω_l and λ learner trajectories.
 """
 
 from __future__ import annotations
@@ -250,6 +254,44 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_orchestrate_bench(args: argparse.Namespace) -> int:
+    from repro.orchestrate.bench import format_orchestrate_doc, run_orchestrate_bench
+
+    candidates = tuple(c.strip() for c in args.candidates.split(",") if c.strip())
+    if len(candidates) < 2:
+        print("--candidates needs at least two policy names")
+        return 2
+    if not 0.0 < args.sample_rate <= 1.0:
+        print(f"--sample-rate must be in (0, 1], got {args.sample_rate}")
+        return 2
+    try:
+        doc = run_orchestrate_bench(
+            trace=args.trace,
+            n_requests=args.requests,
+            fraction=args.fraction,
+            candidates=candidates,
+            sample_rate=args.sample_rate,
+            window=args.window,
+            hysteresis=args.hysteresis,
+            min_gap=args.min_gap,
+            cooldown=args.cooldown,
+            objective=args.objective,
+            seed=args.seed,
+            output=args.output or None,
+            quick=args.quick,
+        )
+    except KeyError as exc:
+        print(str(exc).strip('"\''))
+        return 2
+    except OSError as exc:
+        print(f"cannot write {args.output}: {exc}")
+        return 2
+    print(format_orchestrate_doc(doc))
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -346,6 +388,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: 20k-request CDN-W, 2 ms origin (~seconds)")
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "orchestrate-bench",
+        help="shadow-cache policy orchestration vs fixed candidates on a drift trace",
+    )
+    p.add_argument("--trace", default="diurnal",
+                   choices=["churn", "sizeshift", "flash", "diurnal"],
+                   help="nonstationary trace family")
+    p.add_argument("-n", "--requests", type=int, default=120_000,
+                   help="trace length (--quick caps at 40000)")
+    p.add_argument("--fraction", type=float, default=0.02, help="cache size as WSS fraction")
+    p.add_argument("--candidates", default="LRU,SCIP,SIEVE,S4LRU,GDSF",
+                   help="comma-separated candidate policies; the live cache starts "
+                        "on the first (--quick narrows the default menu to LRU,GDSF)")
+    p.add_argument("--sample-rate", type=float, default=0.2,
+                   help="SHARDS spatial sampling rate R for the shadow rack")
+    p.add_argument("--window", type=int, default=400,
+                   help="effective decay window for shadow miss-ratio scores, "
+                        "in sampled requests")
+    p.add_argument("--hysteresis", type=float, default=0.06,
+                   help="relative score margin a challenger must win by")
+    p.add_argument("--min-gap", type=float, default=0.015,
+                   help="absolute score margin required on top of hysteresis")
+    p.add_argument("--cooldown", type=int, default=10_000,
+                   help="live requests between switches")
+    p.add_argument("--objective", default="object", choices=["object", "byte"],
+                   help="miss-ratio objective the controller optimises")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default="BENCH_orchestrate.json",
+                   help="result JSON path ('' to skip)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: 40k requests, two-candidate menu (~seconds)")
+    p.set_defaults(func=_cmd_orchestrate_bench)
 
     p = sub.add_parser("obs", help="render learner trajectories from a JSONL event stream")
     p.add_argument("events", help="events.jsonl[.gz] written by simulate --trace-out")

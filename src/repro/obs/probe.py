@@ -28,6 +28,9 @@ event                emitted by
 ``fetch_retry``      serve fetch attempt failed/timed out; backing off
 ``fetch_error``      serve fetch failed terminally (after all retries)
 ``shed``             serve shard queue full — request rejected unserved
+``shadow_hit``       ``orchestrate.ShadowRack`` — sampled hit in one shadow
+``policy_switch``    ``orchestrate.Orchestrator`` promotion / ``serve.
+                     CacheShard`` live swap executed on the owner task
 ==================== ==========================================================
 
 Every record carries ``seq`` (emission order) and, when the probe has a
@@ -58,6 +61,8 @@ PROBE_EVENTS = frozenset(
         "fetch_retry",
         "fetch_error",
         "shed",
+        "shadow_hit",
+        "policy_switch",
     }
 )
 

@@ -1,0 +1,353 @@
+"""The switching controller: promote the best shadow policy, carefully.
+
+The raw decision rule — "serve whatever shadow is best right now" — flaps:
+windowed scores wander within sampling noise, and every switch has a real
+cost (the migrated resident set obeys the *old* policy's placement until
+it churns through).  The controller therefore wraps three dampers around
+the comparison:
+
+* **hysteresis** — the challenger must beat the incumbent's score by a
+  relative margin, not merely edge it;
+* **cooldown** — after a switch, no new switch for a fixed number of live
+  requests, so the promoted policy's effect is actually measured before
+  being second-guessed;
+* **minimum evidence** — no switching until every shadow has replayed
+  enough sampled requests to have meaningful windowed scores.
+
+Regret accounting: at every evaluation the live cache's windowed miss
+ratio is compared against the best shadow's; the positive excess times the
+window size accumulates as an *estimated excess miss count* — the price
+paid (in misses) for not having run the oracle-best candidate all along.
+A bounded, slowly-growing regret is the orchestrator working; a regret
+growing linearly at a constant rate is a controller stuck on the wrong
+policy.
+
+:class:`Orchestrator` glues sampler + rack + controller to a live cache
+through a single ``swap(name, factory)`` callback, so the same logic
+drives a synchronous :meth:`repro.tdc.node.StorageNode.swap_policy` and
+the asyncio :meth:`repro.serve.service.CacheService.swap_policy` path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.cache.base import CachePolicy
+from repro.orchestrate.shadow import DecayedRatio, ShadowRack
+from repro.sim.request import Request
+from repro.tdc.node import StorageNode
+
+__all__ = [
+    "ControllerConfig",
+    "SwitchEvent",
+    "SwitchController",
+    "Orchestrator",
+    "resolve_candidates",
+    "run_orchestrated",
+]
+
+
+def resolve_candidates(names) -> Dict[str, Callable[[int], CachePolicy]]:
+    """Resolve display names to policy factories (the zoo plus SCIP/SCI)."""
+    from repro.cache import POLICIES
+    from repro.core.sci import SCICache
+    from repro.core.scip import SCIPCache
+
+    registry = dict(POLICIES)
+    registry["SCIP"] = SCIPCache
+    registry["SCI"] = SCICache
+    out: Dict[str, Callable[[int], CachePolicy]] = {}
+    for name in names:
+        if name not in registry:
+            raise KeyError(f"unknown policy {name!r}; available: {sorted(registry)}")
+        out[name] = registry[name]
+    return out
+
+
+@dataclass
+class ControllerConfig:
+    """Switching-controller knobs (see the module docstring for rationale)."""
+
+    #: Relative score margin a challenger must win by (0.10 = 10 % fewer
+    #: windowed misses than the incumbent's shadow).
+    hysteresis: float = 0.10
+    #: Absolute score margin required on top of the relative one — in
+    #: low-miss regimes (windowed scores near zero) relative gaps are
+    #: mostly sampling noise, and a switch costs a possible cold restart.
+    min_gap: float = 0.01
+    #: Live requests that must pass after a switch before the next one.
+    cooldown: int = 10_000
+    #: Minimum sampled requests the rack must have replayed before any
+    #: switch (shadow warm-up).
+    min_samples: int = 300
+    #: Live requests between controller evaluations.
+    eval_every: int = 500
+    #: Scoring objective: ``"object"`` or ``"byte"`` miss ratio.
+    objective: str = "object"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hysteresis < 1.0:
+            raise ValueError(f"hysteresis must be in [0, 1), got {self.hysteresis}")
+        if self.eval_every < 1:
+            raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
+        if self.objective not in ("object", "byte"):
+            raise ValueError(f"objective must be 'object' or 'byte', got {self.objective!r}")
+
+
+@dataclass
+class SwitchEvent:
+    """One promotion decision, for the bench doc and the event stream."""
+
+    at: int  # live request index of the decision
+    frm: str
+    to: str
+    scores: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"at": self.at, "from": self.frm, "to": self.to, "scores": dict(self.scores)}
+
+
+class SwitchController:
+    """Hysteresis + cooldown gate over the rack's windowed scores."""
+
+    def __init__(self, config: Optional[ControllerConfig] = None):
+        self.config = config if config is not None else ControllerConfig()
+        self.last_switch_at: Optional[int] = None
+        self.evaluations = 0
+
+    def consider(
+        self, now: int, current: str, scores: Mapping[str, float], sampled: int
+    ) -> Optional[str]:
+        """Return the challenger to promote, or ``None`` to hold.
+
+        Parameters
+        ----------
+        now:
+            Live request index (the cooldown clock).
+        current:
+            Name of the policy serving the live cache.
+        scores:
+            The rack's windowed scores (lower is better).
+        sampled:
+            Total sampled requests the rack has replayed (evidence gate).
+        """
+        self.evaluations += 1
+        cfg = self.config
+        if sampled < cfg.min_samples:
+            return None
+        if self.last_switch_at is not None and now - self.last_switch_at < cfg.cooldown:
+            return None
+        best = min(scores, key=scores.get)
+        if best == current:
+            return None
+        if (
+            scores[best] < scores[current] * (1.0 - cfg.hysteresis)
+            and scores[current] - scores[best] >= cfg.min_gap
+        ):
+            self.last_switch_at = now
+            return best
+        return None
+
+
+class Orchestrator:
+    """Online policy orchestration for one live cache.
+
+    Feed every live request through :meth:`record` (after the live cache
+    has served it); the orchestrator replays the sampled sub-stream into
+    the shadow rack, evaluates every ``eval_every`` requests, and invokes
+    ``swap`` when the controller promotes a challenger.
+
+    Parameters
+    ----------
+    candidates:
+        Ordered ``name -> factory`` mapping; the first name must be the
+        policy the live cache starts on (pass ``current=`` otherwise).
+    capacity:
+        Live cache capacity (shadows scale off it).
+    swap:
+        ``(name, factory) -> None`` callback executing the live promotion.
+        ``None`` turns the orchestrator into a pure observer (scores and
+        regret still accumulate — useful for what-if analysis).
+    rate, seed, window:
+        Shadow rack parameters (see :class:`ShadowRack`).
+    config:
+        :class:`ControllerConfig`.
+    registry:
+        Optional metrics registry: ``orchestrate_regret`` gauge,
+        ``orchestrate_switches`` counter, per-candidate
+        ``shadow_miss_ratio`` gauges, plus the rack's counters.
+    probe:
+        Optional obs probe (``policy_switch`` on promotion; the rack emits
+        ``shadow_hit``).
+    """
+
+    def __init__(
+        self,
+        candidates: Mapping[str, Callable[[int], CachePolicy]],
+        capacity: int,
+        swap: Optional[Callable[[str, Callable[[int], CachePolicy]], None]] = None,
+        current: Optional[str] = None,
+        rate: float = 0.1,
+        seed: int = 0,
+        window: int = 2_000,
+        config: Optional[ControllerConfig] = None,
+        registry=None,
+        probe=None,
+    ):
+        self.candidates = dict(candidates)
+        if current is None:
+            current = next(iter(self.candidates))
+        if current not in self.candidates:
+            raise ValueError(f"current policy {current!r} not among candidates")
+        self.current = current
+        self.capacity = int(capacity)
+        self.swap = swap
+        self.rack = ShadowRack(
+            candidates, capacity, rate=rate, seed=seed, window=window,
+            registry=registry, probe=probe,
+        )
+        self.controller = SwitchController(config)
+        self.probe = probe
+        cfg = self.controller.config
+        self.live_mr = DecayedRatio(max(int(cfg.eval_every * 2), 1))
+        self.regret = 0.0
+        self.switches: List[SwitchEvent] = []
+        self.t = 0
+        self._window_misses = 0
+        self._window_requests = 0
+        self._regret_gauge = None
+        self._switch_counter = None
+        self._score_gauges = None
+        if registry is not None:
+            self._regret_gauge = registry.gauge("orchestrate_regret")
+            self._switch_counter = registry.counter("orchestrate_switches")
+            self._score_gauges = {
+                name: registry.gauge("shadow_miss_ratio", policy=name)
+                for name in self.candidates
+            }
+
+    # -- the per-request hook ------------------------------------------------
+    def record(self, req: Request, hit: bool) -> Optional[SwitchEvent]:
+        """Account one live request; returns the switch performed, if any."""
+        self.t += 1
+        miss = 0.0 if hit else 1.0
+        self.live_mr.update(miss)
+        self._window_requests += 1
+        if not hit:
+            self._window_misses += 1
+        self.rack.observe(req)
+        if self.t % self.controller.config.eval_every == 0:
+            return self._evaluate()
+        return None
+
+    # -- evaluation ----------------------------------------------------------
+    def _evaluate(self) -> Optional[SwitchEvent]:
+        objective = self.controller.config.objective
+        scores = self.rack.scores(objective)
+        if self._score_gauges is not None:
+            for name, value in scores.items():
+                self._score_gauges[name].set(value)
+        # Regret: estimated excess misses of the live cache over the best
+        # shadow, accumulated over this evaluation window.
+        if self._window_requests and self.rack.sampled_requests:
+            best_score = min(scores.values())
+            window_mr = self._window_misses / self._window_requests
+            self.regret += max(0.0, window_mr - best_score) * self._window_requests
+            if self._regret_gauge is not None:
+                self._regret_gauge.set(self.regret)
+        self._window_misses = 0
+        self._window_requests = 0
+        target = self.controller.consider(
+            self.t, self.current, scores, self.rack.sampled_requests
+        )
+        if target is None:
+            return None
+        event = SwitchEvent(at=self.t, frm=self.current, to=target, scores=scores)
+        self.switches.append(event)
+        if self.swap is not None:
+            self.swap(target, self.candidates[target])
+        self.current = target
+        if self._switch_counter is not None:
+            self._switch_counter.inc()
+        if self.probe is not None:
+            self.probe.emit(
+                "policy_switch",
+                at=self.t,
+                frm=event.frm,
+                to=event.to,
+                score_from=scores[event.frm],
+                score_to=scores[event.to],
+            )
+        return event
+
+    # -- introspection -------------------------------------------------------
+    def summary(self) -> dict:
+        return {
+            "requests": self.t,
+            "current": self.current,
+            "switches": [e.as_dict() for e in self.switches],
+            "regret_excess_misses": self.regret,
+            "live_windowed_mr": self.live_mr.value,
+            "shadow": self.rack.snapshot(self.controller.config.objective),
+            "evaluations": self.controller.evaluations,
+        }
+
+
+def run_orchestrated(
+    trace,
+    candidates: Mapping[str, Callable[[int], CachePolicy]],
+    capacity: int,
+    rate: float = 0.1,
+    seed: int = 0,
+    window: int = 2_000,
+    config: Optional[ControllerConfig] = None,
+    registry=None,
+    probe=None,
+) -> dict:
+    """Replay a trace through an orchestrated :class:`StorageNode`.
+
+    The node starts on the first candidate (the "deployed LRU" of the TDC
+    story); promotions hot-swap via :meth:`StorageNode.swap_policy`, which
+    preserves the resident set.  Returns the orchestrator summary plus the
+    live cache's end-to-end stats.
+    """
+    candidates = dict(candidates)
+    first = next(iter(candidates))
+    node = StorageNode("orchestrated", candidates[first](capacity))
+    orch = Orchestrator(
+        candidates,
+        capacity,
+        swap=lambda name, factory: node.swap_policy(factory),
+        current=first,
+        rate=rate,
+        seed=seed,
+        window=window,
+        config=config,
+        registry=registry,
+        probe=probe,
+    )
+    hits = misses = bytes_hit = bytes_missed = 0
+    record = orch.record
+    get = node.get
+    for req in trace:
+        hit = get(req)
+        if hit:
+            hits += 1
+            bytes_hit += req.size
+        else:
+            misses += 1
+            bytes_missed += req.size
+        record(req, hit)
+    n = hits + misses
+    total_bytes = bytes_hit + bytes_missed
+    result = orch.summary()
+    result["live"] = {
+        "requests": n,
+        "hits": hits,
+        "misses": misses,
+        "miss_ratio": misses / n if n else 0.0,
+        "byte_miss_ratio": bytes_missed / total_bytes if total_bytes else 0.0,
+        "final_policy": orch.current,
+    }
+    return result

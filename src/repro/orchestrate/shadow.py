@@ -1,0 +1,179 @@
+"""Shadow caches: K candidate policies replaying the sampled stream.
+
+A :class:`ShadowRack` runs every candidate policy as a mini-cache at
+``R · C`` capacity, fed only the :class:`~repro.orchestrate.sampler.
+SpatialSampler`-selected fraction of the live request stream.  Each shadow
+tracks two views of its quality:
+
+* **cumulative** object/byte miss ratios (the policy's own
+  :class:`~repro.cache.base.CacheStats`) — what the SHARDS validation
+  tests compare against ground truth;
+* **windowed** miss ratios with exponential decay (:class:`DecayedRatio`)
+  — what the switching controller compares, because under nonstationary
+  traffic the question is "who is best *now*", not "who was best since
+  boot".
+
+All shadows see exactly the same sampled sub-stream, so their scores are
+directly comparable: sampling noise is common-mode between candidates even
+when it biases the absolute miss ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.cache.base import CachePolicy
+from repro.orchestrate.sampler import SpatialSampler
+from repro.sim.request import Request
+
+__all__ = ["DecayedRatio", "ShadowCache", "ShadowRack"]
+
+
+class DecayedRatio:
+    """Exponentially decayed ratio of two accumulators (misses / requests).
+
+    Both numerator and denominator decay by the same factor per
+    observation, so the ratio is a smoothly windowed average with
+    effective window ``~1 / (1 - decay)`` observations; early on (before a
+    full window accrues) it degrades gracefully to the plain cumulative
+    ratio instead of being dominated by an arbitrary prior.
+    """
+
+    __slots__ = ("decay", "num", "den")
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.decay = 1.0 - 1.0 / window
+        self.num = 0.0
+        self.den = 0.0
+
+    def update(self, indicator: float, weight: float = 1.0) -> None:
+        self.num = self.num * self.decay + indicator * weight
+        self.den = self.den * self.decay + weight
+
+    @property
+    def value(self) -> float:
+        """The windowed ratio; 1.0 (pessimal) before any observation."""
+        return self.num / self.den if self.den > 0 else 1.0
+
+
+class ShadowCache:
+    """One candidate policy plus its windowed quality trackers."""
+
+    __slots__ = ("name", "policy", "object_mr", "byte_mr")
+
+    def __init__(self, name: str, policy: CachePolicy, window: int):
+        self.name = name
+        self.policy = policy
+        self.object_mr = DecayedRatio(window)
+        self.byte_mr = DecayedRatio(window)
+
+    def observe(self, req: Request) -> bool:
+        hit = self.policy.request(req)
+        miss = 0.0 if hit else 1.0
+        self.object_mr.update(miss)
+        self.byte_mr.update(miss, float(req.size))
+        return hit
+
+    def score(self, objective: str = "object") -> float:
+        return self.object_mr.value if objective == "object" else self.byte_mr.value
+
+
+class ShadowRack:
+    """The rack of shadow caches beside one live cache.
+
+    Parameters
+    ----------
+    candidates:
+        Ordered mapping ``name -> factory(capacity) -> CachePolicy``.
+        Order matters: the first entry is the conventional starting policy.
+    capacity:
+        The **live** cache capacity; shadows run at ``rate ·`` this.
+    rate:
+        SHARDS sample rate (see :class:`SpatialSampler`).
+    seed:
+        Sampler seed — part of the run's reproducibility record.
+    window:
+        Effective decay window in *sampled* requests for the windowed
+        scores (``rate · window`` live requests' worth of signal).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; per-candidate
+        ``shadow_requests`` / ``shadow_hits`` counters land here.
+    probe:
+        Optional obs probe; emits a ``shadow_hit`` event per sampled
+        shadow hit (high volume — filter or leave detached in production).
+    """
+
+    def __init__(
+        self,
+        candidates: Mapping[str, Callable[[int], CachePolicy]],
+        capacity: int,
+        rate: float = 0.1,
+        seed: int = 0,
+        window: int = 2_000,
+        registry=None,
+        probe=None,
+    ):
+        if not candidates:
+            raise ValueError("need at least one candidate policy")
+        self.sampler = SpatialSampler(rate, seed=seed)
+        self.capacity = int(capacity)
+        self.shadow_capacity = self.sampler.scaled_capacity(capacity)
+        self.shadows: Dict[str, ShadowCache] = {}
+        for name, factory in candidates.items():
+            self.shadows[name] = ShadowCache(name, factory(self.shadow_capacity), window)
+        self.sampled_requests = 0
+        self.probe = probe
+        self._hit_counters = None
+        self._req_counter = None
+        if registry is not None:
+            self._req_counter = registry.counter("shadow_requests")
+            self._hit_counters = {
+                name: registry.counter("shadow_hits", policy=name) for name in self.shadows
+            }
+
+    @property
+    def names(self) -> list:
+        return list(self.shadows)
+
+    def observe(self, req: Request) -> bool:
+        """Offer one live request to the rack; returns whether it was
+        sampled (and therefore replayed into every shadow)."""
+        if not self.sampler.sampled(req.key):
+            return False
+        self.sampled_requests += 1
+        if self._req_counter is not None:
+            self._req_counter.inc()
+        probe = self.probe
+        for shadow in self.shadows.values():
+            hit = shadow.observe(req)
+            if hit:
+                if self._hit_counters is not None:
+                    self._hit_counters[shadow.name].inc()
+                if probe is not None:
+                    probe.emit("shadow_hit", key=req.key, policy=shadow.name)
+        return True
+
+    def scores(self, objective: str = "object") -> Dict[str, float]:
+        """Windowed miss-ratio score per candidate (lower is better)."""
+        return {name: s.score(objective) for name, s in self.shadows.items()}
+
+    def best(self, objective: str = "object") -> str:
+        """Name of the currently best candidate (ties break by rack order)."""
+        scores = self.scores(objective)
+        return min(scores, key=scores.get)
+
+    def cumulative(self) -> Dict[str, dict]:
+        """Per-candidate cumulative policy counters (stable, un-windowed)."""
+        return {name: s.policy.stats.as_dict() for name, s in self.shadows.items()}
+
+    def snapshot(self, objective: str = "object") -> dict:
+        return {
+            "sample_rate": self.sampler.rate,
+            "seed": self.sampler.seed,
+            "shadow_capacity": self.shadow_capacity,
+            "sampled_requests": self.sampled_requests,
+            "scores": self.scores(objective),
+            "cumulative": self.cumulative(),
+        }

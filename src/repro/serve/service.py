@@ -21,6 +21,7 @@ equivalence comparison honest.
 
 from __future__ import annotations
 
+import asyncio
 from typing import Callable, List, Optional
 
 from repro.cache.base import CachePolicy
@@ -122,6 +123,24 @@ class CacheService:
 
     async def __aexit__(self, *exc) -> None:
         await self.close()
+
+    # -- live policy swap --------------------------------------------------
+    async def swap_policy(self, policy_factory: Callable[[int], CachePolicy]) -> None:
+        """Hot-swap every shard's policy without stopping the service.
+
+        Each shard performs the swap on its own worker task (queued behind
+        whatever requests are already pending), so no policy is ever
+        touched concurrently and in-flight coalesced fetches settle
+        normally against the shard's single-flight map.  Resident sets are
+        migrated when both old and new policies are queue-structured (see
+        :meth:`repro.serve.shard.CacheShard._swap`).  Shards swap
+        concurrently; the call returns once all have completed.
+        """
+        if not self._started:
+            raise RuntimeError("CacheService.swap_policy before start()")
+        await asyncio.gather(
+            *(shard.request_swap(policy_factory) for shard in self.shards)
+        )
 
     # -- the request API ---------------------------------------------------
     def shard_for(self, key) -> CacheShard:

@@ -34,7 +34,7 @@ import random
 from functools import partial
 from typing import Optional
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import CachePolicy, QueueCache
 from repro.serve.coalesce import SingleFlight
 from repro.serve.origin import FetchOutcome, RetryPolicy, SimulatedOrigin, fetch_with_retry
 from repro.serve.results import ServeMetrics, ServeOutcome
@@ -44,6 +44,22 @@ __all__ = ["CacheShard"]
 
 #: Queue sentinel asking the worker to exit after draining earlier items.
 _CLOSE = object()
+
+
+class _SwapControl:
+    """Control-plane queue item: hot-swap the shard policy.
+
+    Travels through the same queue as data requests, so the swap executes
+    on the worker task *between* complete cache decisions — the policy is
+    never observed mid-decision and no lock exists to take.  ``fut``
+    resolves with the new policy once the migration is done.
+    """
+
+    __slots__ = ("factory", "fut")
+
+    def __init__(self, factory, fut: asyncio.Future):
+        self.factory = factory
+        self.fut = fut
 
 
 class CacheShard:
@@ -138,6 +154,18 @@ class CacheShard:
             if item is _CLOSE:
                 queue.task_done()
                 return
+            if isinstance(item, _SwapControl):
+                try:
+                    self._swap(item.factory)
+                except Exception as exc:
+                    if not item.fut.done():
+                        item.fut.set_exception(exc)
+                else:
+                    if not item.fut.done():
+                        item.fut.set_result(self.policy)
+                finally:
+                    queue.task_done()
+                continue
             req, fut = item
             try:
                 self._serve(req, fut)
@@ -175,6 +203,45 @@ class CacheShard:
         else:
             m.coalesced.inc()
         self._chain(lease, fut, hit=False, coalesced=not leader)
+
+    # -- live policy swap (worker side) ------------------------------------
+    def _swap(self, factory) -> None:
+        """Hot-swap the shard policy — runs on the worker task only.
+
+        Mirrors :meth:`repro.tdc.node.StorageNode.swap_policy`: when both
+        policies are queue-structured the resident set migrates LRU → MRU
+        (recency order reconstructed, no origin refill); otherwise the new
+        policy restarts cold.  In-flight fetches are untouched — the
+        single-flight map is shard state, not policy state, so coalesced
+        waiters resolve against the same generation regardless of which
+        policy admitted the key.
+        """
+        old = self.policy
+        new = factory(old.capacity)
+        if isinstance(old, QueueCache) and isinstance(new, QueueCache):
+            clock = old.clock
+            for node in old.queue.iter_lru():
+                new._miss(Request(clock, node.key, node.size))
+        self.policy = new
+        if self.probe is not None:
+            self.probe.emit(
+                "policy_switch",
+                shard=self.shard_id,
+                frm=old.name,
+                to=new.name,
+                migrated=len(new) if isinstance(new, QueueCache) else 0,
+            )
+
+    async def request_swap(self, factory) -> CachePolicy:
+        """Ask the worker to swap policies; resolves once it has happened.
+
+        Unlike :meth:`submit`, this *blocks* on a full queue rather than
+        shedding — a control-plane message must not be dropped under data-
+        plane pressure.  Returns the new policy instance.
+        """
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self.queue.put(_SwapControl(factory, fut))
+        return await fut
 
     def _chain(
         self, lease: asyncio.Future, fut: asyncio.Future, hit: bool, coalesced: bool

@@ -2,6 +2,15 @@
 
 from repro.traces.analysis import CACHE_SIZE_FRACTIONS, Fig1Row, fig1_panel, reuse_statistics
 from repro.traces.cdn import WORKLOADS, make_workload, workload_names
+from repro.traces.drift import (
+    DRIFT_TRACES,
+    diurnal,
+    drift_trace_names,
+    flash_crowd,
+    make_drift_trace,
+    popularity_churn,
+    size_mix_shift,
+)
 from repro.traces.mrc import miss_ratio_curve, stack_distances
 from repro.traces.oracle import OracleLabels, label_events, treated_replay
 from repro.traces.synthetic import WorkloadSpec, generate_trace, zipf_probs
@@ -27,4 +36,11 @@ __all__ = [
     "concat",
     "interleave",
     "sample_objects",
+    "DRIFT_TRACES",
+    "drift_trace_names",
+    "make_drift_trace",
+    "popularity_churn",
+    "size_mix_shift",
+    "flash_crowd",
+    "diurnal",
 ]

@@ -1,0 +1,245 @@
+"""Nonstationary trace generators — the orchestration workloads.
+
+Every generator here produces a trace whose *best fixed policy changes
+over time*, which is exactly the regime the :mod:`repro.orchestrate`
+subsystem exists for (SCION's motivating observation: on drifting object
+workloads no fixed policy dominates).  Four drift families:
+
+* :func:`popularity_churn` — the hot set is completely replaced every
+  phase (catalog rotation): each phase opens with a compulsory-miss storm
+  and history learned on the old namespace is worthless.
+* :func:`size_mix_shift` — alternating phases swap the object-size regime
+  (small-object recency traffic vs large-object traffic), flipping the
+  advantage between recency policies and size-aware ones (GDSF).
+* :func:`flash_crowd` — a calm, core-dominated stream punctured by
+  one-shot/burst storms (flash-crowd onsets): during a storm,
+  scan-resistant insertion beats classic LRU; during calm, plain recency
+  wins.
+* :func:`diurnal` — A/B/A/B rotation between a "day" profile (tight
+  recency core) and a "night" profile (churn-heavy batch/crawler mix),
+  with each profile's key namespace persisting across its own phases so
+  content genuinely recurs the next "day".
+
+All phases are spliced with :func:`repro.traces.transform.concat` (dense
+re-timed clock) and are deterministic per seed.  :data:`DRIFT_TRACES`
+registers the families for the CLI/bench; :func:`make_drift_trace` builds
+one by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict
+
+from repro.sim.request import Trace
+from repro.traces.synthetic import WorkloadSpec, generate_trace
+from repro.traces.transform import concat
+
+__all__ = [
+    "popularity_churn",
+    "size_mix_shift",
+    "flash_crowd",
+    "diurnal",
+    "DRIFT_TRACES",
+    "drift_trace_names",
+    "make_drift_trace",
+]
+
+#: Key-namespace stride between independent phases (far above any
+#: generator's internal namespace span).
+_PHASE_STRIDE = 10**10
+
+
+def _splice(phases, name: str) -> Trace:
+    """Concat phases and record their boundaries on the result.
+
+    The generators emit slightly fewer requests than asked (burst/sweep
+    truncation), so phase boundaries cannot be reconstructed from the
+    nominal per-phase budget; ``trace.phase_bounds`` — a list of
+    ``(start, end, phase_name)`` request-index ranges — is the ground
+    truth the drift tests and per-phase analyses slice by.
+    """
+    tr = concat(phases, name=name)
+    bounds = []
+    pos = 0
+    for p in phases:
+        bounds.append((pos, pos + len(p), p.name))
+        pos += len(p)
+    tr.phase_bounds = bounds
+    return tr
+
+
+def _base_spec(n: int, seed: int) -> WorkloadSpec:
+    """Common phase skeleton: no internal drift/storm structure (the drift
+    is the point of *this* module and lives between phases, not inside
+    them), moderate core with periodic revisits."""
+    return WorkloadSpec(
+        n_requests=n,
+        n_core=3_000,
+        seed=seed,
+        drift_period=0,
+        drift_shift=0,
+        storm_period=0,
+        sweep_frac=0.05,
+    )
+
+
+def popularity_churn(
+    n_requests: int = 120_000, seed: int = 0, n_phases: int = 4
+) -> Trace:
+    """Hot-set replacement: each phase lives in a fresh key namespace."""
+    if n_phases < 2:
+        raise ValueError(f"need >= 2 phases for drift, got {n_phases}")
+    per = n_requests // n_phases
+    phases = []
+    for p in range(n_phases):
+        spec = replace(
+            _base_spec(per, seed * 1_000 + p),
+            one_shot_frac=0.20,
+            burst_frac=0.20,
+            key_offset=p * _PHASE_STRIDE,
+            name=f"churn-p{p}",
+        )
+        phases.append(generate_trace(spec))
+    return _splice(phases, name="drift-churn")
+
+
+def size_mix_shift(
+    n_requests: int = 120_000, seed: int = 0, n_phases: int = 4
+) -> Trace:
+    """Alternating size regimes: small-object recency vs large-object mix.
+
+    Small phases (16 KB median, tight core, few one-shots) reward plain
+    recency; large phases (heavy-tailed ~350 KB objects, large one-shot
+    spray) reward size-aware victim selection — a fixed policy is wrong
+    half the time.
+    """
+    if n_phases < 2:
+        raise ValueError(f"need >= 2 phases for drift, got {n_phases}")
+    per = n_requests // n_phases
+    phases = []
+    for p in range(n_phases):
+        base = _base_spec(per, seed * 1_000 + p)
+        if p % 2 == 0:
+            spec = replace(
+                base,
+                mean_size=16 * 1024,
+                size_sigma=0.6,
+                one_shot_frac=0.08,
+                burst_frac=0.15,
+                key_offset=0,
+                name=f"sizeshift-small-p{p}",
+            )
+        else:
+            spec = replace(
+                base,
+                mean_size=350 * 1024,
+                size_sigma=1.4,
+                one_shot_frac=0.45,
+                burst_frac=0.15,
+                zro_size_bias=3.0,
+                key_offset=_PHASE_STRIDE,
+                name=f"sizeshift-large-p{p}",
+            )
+        phases.append(generate_trace(spec))
+    return _splice(phases, name="drift-sizeshift")
+
+
+def flash_crowd(
+    n_requests: int = 120_000, seed: int = 0, n_storms: int = 2
+) -> Trace:
+    """Calm core traffic punctured by one-shot/burst storm onsets.
+
+    Calm segments share one namespace (the stable catalog); each storm is
+    an independent spray of ephemeral objects that will never recur.
+    """
+    if n_storms < 1:
+        raise ValueError(f"need >= 1 storm, got {n_storms}")
+    n_segments = 2 * n_storms + 1
+    per = n_requests // n_segments
+    segments = []
+    for i in range(n_segments):
+        if i % 2 == 0:  # calm: persistent catalog, mild churn
+            spec = replace(
+                _base_spec(per, seed * 1_000 + i),
+                one_shot_frac=0.05,
+                burst_frac=0.10,
+                key_offset=0,
+                name=f"flash-calm-{i}",
+            )
+        else:  # storm: ephemeral spray, oversized one-hit wonders
+            spec = replace(
+                _base_spec(per, seed * 1_000 + i),
+                n_core=400,
+                one_shot_frac=0.60,
+                burst_frac=0.25,
+                burst_mean_len=2.5,
+                burst_window=400,
+                zro_size_bias=3.0,
+                key_offset=(i + 1) * _PHASE_STRIDE,
+                name=f"flash-storm-{i}",
+            )
+        segments.append(generate_trace(spec))
+    return _splice(segments, name="drift-flash")
+
+
+def diurnal(n_requests: int = 120_000, seed: int = 0, cycles: int = 2) -> Trace:
+    """Day/night rotation between two persistent workload profiles.
+
+    The "day" profile is interactive recency traffic over a stable
+    catalog; the "night" profile is batch/crawler churn (large scans,
+    heavy one-shot mass) over its own namespace.  Each profile's keys
+    persist across its phases, so day content recurs the next day.
+    """
+    if cycles < 1:
+        raise ValueError(f"need >= 1 cycle, got {cycles}")
+    per = n_requests // (2 * cycles)
+    phases = []
+    for c in range(cycles):
+        day = replace(
+            _base_spec(per, seed * 1_000 + 2 * c),
+            mean_size=24 * 1024,
+            size_sigma=0.8,
+            one_shot_frac=0.06,
+            burst_frac=0.12,
+            key_offset=0,
+            name=f"diurnal-day-{c}",
+        )
+        night = replace(
+            _base_spec(per, seed * 1_000 + 2 * c + 1),
+            n_core=1_200,
+            mean_size=200 * 1024,
+            size_sigma=1.3,
+            one_shot_frac=0.50,
+            burst_frac=0.20,
+            zro_size_bias=2.5,
+            key_offset=_PHASE_STRIDE,
+            name=f"diurnal-night-{c}",
+        )
+        phases.append(generate_trace(day))
+        phases.append(generate_trace(night))
+    return _splice(phases, name="drift-diurnal")
+
+
+#: Registered drift families: name -> builder(n_requests, seed) -> Trace.
+DRIFT_TRACES: Dict[str, Callable[..., Trace]] = {
+    "churn": popularity_churn,
+    "sizeshift": size_mix_shift,
+    "flash": flash_crowd,
+    "diurnal": diurnal,
+}
+
+
+def drift_trace_names() -> list:
+    return sorted(DRIFT_TRACES)
+
+
+def make_drift_trace(name: str, n_requests: int = 120_000, seed: int = 0) -> Trace:
+    """Build a registered drift trace by family name."""
+    try:
+        builder = DRIFT_TRACES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown drift trace {name!r}; available: {drift_trace_names()}"
+        ) from None
+    return builder(n_requests=n_requests, seed=seed)

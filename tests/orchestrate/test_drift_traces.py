@@ -1,0 +1,132 @@
+"""Drift trace generators: determinism, structure, and nonstationarity.
+
+Phase boundaries come from ``trace.phase_bounds`` (recorded by the drift
+builders) — the generators emit slightly fewer requests than the nominal
+per-phase budget, so index arithmetic over ``len(trace) // n_phases``
+would straddle phases and see phantom namespace overlap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.drift import (
+    DRIFT_TRACES,
+    diurnal,
+    drift_trace_names,
+    flash_crowd,
+    make_drift_trace,
+    popularity_churn,
+    size_mix_shift,
+)
+
+
+def _phase_keys(trace):
+    reqs = trace.requests
+    return [
+        (name, {r.key for r in reqs[start:end]})
+        for start, end, name in trace.phase_bounds
+    ]
+
+
+class TestRegistry:
+    def test_names_and_builder(self):
+        assert drift_trace_names() == sorted(DRIFT_TRACES)
+        tr = make_drift_trace("churn", n_requests=4_000, seed=0)
+        # Generators truncate bursts/sweeps, so the length is approximate.
+        assert 0.6 * 4_000 <= len(tr) <= 4_000
+        with pytest.raises(KeyError):
+            make_drift_trace("nope")
+
+    @pytest.mark.parametrize("name", sorted(DRIFT_TRACES))
+    def test_deterministic_per_seed(self, name):
+        a = make_drift_trace(name, n_requests=5_000, seed=3)
+        b = make_drift_trace(name, n_requests=5_000, seed=3)
+        c = make_drift_trace(name, n_requests=5_000, seed=4)
+        keys = [r.key for r in a]
+        assert keys == [r.key for r in b]
+        assert keys != [r.key for r in c]
+        assert [r.size for r in a] == [r.size for r in b]
+
+    @pytest.mark.parametrize("name", sorted(DRIFT_TRACES))
+    def test_dense_clock_and_phase_bounds(self, name):
+        tr = make_drift_trace(name, n_requests=3_000)
+        times = [r.time for r in tr]
+        assert times == sorted(times)
+        assert times[0] == 0 and times[-1] == len(tr) - 1
+        # Bounds tile the trace exactly: contiguous, covering, in order.
+        bounds = tr.phase_bounds
+        assert bounds[0][0] == 0 and bounds[-1][1] == len(tr)
+        assert all(b[1] == nxt[0] for b, nxt in zip(bounds, bounds[1:]))
+        assert len(bounds) >= 2
+
+
+class TestChurn:
+    def test_phases_use_disjoint_namespaces(self):
+        tr = popularity_churn(n_requests=8_000, n_phases=4)
+        phases = _phase_keys(tr)
+        assert len(phases) == 4
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (phases[i][1] & phases[j][1]), (i, j)
+
+    def test_phase_guard(self):
+        with pytest.raises(ValueError):
+            popularity_churn(n_phases=1)
+
+
+class TestSizeShift:
+    def test_alternating_size_regimes(self):
+        tr = size_mix_shift(n_requests=12_000, n_phases=4)
+        reqs = tr.requests
+        means = [
+            sum(r.size for r in reqs[start:end]) / (end - start)
+            for start, end, _ in tr.phase_bounds
+        ]
+        # Small phases (0, 2) vs large phases (1, 3): a decisive size flip.
+        assert means[1] > 4 * means[0]
+        assert means[3] > 4 * means[2]
+
+    def test_small_phases_share_their_catalog(self):
+        tr = size_mix_shift(n_requests=12_000, n_phases=4)
+        phases = _phase_keys(tr)
+        assert phases[0][1] & phases[2][1], "small-phase catalog must persist"
+        assert not (phases[0][1] & phases[1][1]), "size regimes are disjoint"
+
+
+class TestFlashCrowd:
+    def test_storms_are_ephemeral_namespaces(self):
+        tr = flash_crowd(n_requests=10_000, n_storms=2)
+        phases = _phase_keys(tr)
+        assert len(phases) == 5
+        calm = [keys for name, keys in phases if "calm" in name]
+        # Calm segments share the catalog namespace…
+        assert calm[0] & calm[1] and calm[1] & calm[2]
+        # …storm namespaces never recur anywhere else.
+        for i, (name, keys) in enumerate(phases):
+            if "storm" not in name:
+                continue
+            for j, (_, other) in enumerate(phases):
+                if i != j:
+                    assert not (keys & other), (i, j)
+
+    def test_storm_guard(self):
+        with pytest.raises(ValueError):
+            flash_crowd(n_storms=0)
+
+
+class TestDiurnal:
+    def test_day_content_recurs_next_day(self):
+        tr = diurnal(n_requests=12_000, cycles=2)
+        phases = dict(_phase_keys(tr))
+        day0, night0, day1 = (
+            phases["diurnal-day-0"],
+            phases["diurnal-night-0"],
+            phases["diurnal-day-1"],
+        )
+        assert day0 & day1, "the day catalog must persist across cycles"
+        assert not (day0 & night0), "day and night live in disjoint namespaces"
+
+    def test_cycle_guard(self):
+        with pytest.raises(ValueError):
+            diurnal(cycles=0)

@@ -1,0 +1,119 @@
+"""Spatial sampler unit tests + the SHARDS fidelity validation.
+
+The load-bearing test here is `TestShadowFidelity`: a sampled LRU shadow
+at `R·C` must reproduce the full-trace LRU miss ratio at `C` — checked
+against `traces.mrc.miss_ratio_curve` (Mattson ground truth), not against
+another replay, so a bug in the sampler and a bug in the engine can't
+cancel out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.orchestrate.sampler import SpatialSampler
+from repro.sim.request import Request
+from repro.traces.cdn import make_workload
+from repro.traces.mrc import miss_ratio_curve
+
+
+class TestSpatialSampler:
+    def test_rate_bounds(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                SpatialSampler(bad)
+        SpatialSampler(1.0)  # inclusive upper bound
+
+    def test_rate_one_keeps_everything(self):
+        s = SpatialSampler(1.0)
+        assert all(s.sampled(k) for k in range(5_000))
+
+    def test_deterministic_per_seed(self):
+        a = SpatialSampler(0.3, seed=7)
+        b = SpatialSampler(0.3, seed=7)
+        c = SpatialSampler(0.3, seed=8)
+        flags_a = [a.sampled(k) for k in range(5_000)]
+        assert flags_a == [b.sampled(k) for k in range(5_000)]
+        assert flags_a != [c.sampled(k) for k in range(5_000)]
+
+    def test_empirical_rate_close_to_nominal(self):
+        # Consecutive integer keys are the adversarial case for a weak
+        # hash; splitmix64 must still land within ~2 points of nominal.
+        for rate in (0.05, 0.1, 0.25, 0.5):
+            s = SpatialSampler(rate, seed=1)
+            kept = sum(s.sampled(k) for k in range(50_000)) / 50_000
+            assert abs(kept - rate) < 0.02, (rate, kept)
+
+    def test_object_level_not_request_level(self):
+        # The same key always gets the same verdict — the SHARDS property.
+        s = SpatialSampler(0.2, seed=3)
+        for k in (0, 17, 123_456):
+            assert len({s.sampled(k) for _ in range(10)}) == 1
+
+    def test_non_int_keys_are_stable(self):
+        s = SpatialSampler(0.5, seed=0)
+        t = SpatialSampler(0.5, seed=0)
+        urls = [f"/asset/{i}.js" for i in range(2_000)]
+        assert [s.sampled(u) for u in urls] == [t.sampled(u) for u in urls]
+        kept = sum(s.sampled(u) for u in urls) / len(urls)
+        assert abs(kept - 0.5) < 0.05
+
+    def test_scaled_capacity(self):
+        s = SpatialSampler(0.1)
+        assert s.scaled_capacity(1_000) == 100
+        assert s.scaled_capacity(5) == 1  # floor at one byte
+        with pytest.raises(ValueError):
+            s.scaled_capacity(0)
+
+
+class TestShadowFidelity:
+    """Satellite (a): sampled-shadow miss ratio vs Mattson ground truth."""
+
+    @pytest.mark.parametrize("rate,tol", [(0.1, 0.10), (0.2, 0.03)])
+    def test_sampled_lru_tracks_mrc(self, cdn_t_small, rate, tol):
+        trace = cdn_t_small
+        capacity = max(int(trace.working_set_size * 0.05), 1)
+        truth = miss_ratio_curve(trace, [capacity])[capacity]
+
+        sampler = SpatialSampler(rate, seed=0)
+        shadow = LRUCache(sampler.scaled_capacity(capacity))
+        n = hits = 0
+        for req in trace:
+            if not sampler.sampled(req.key):
+                continue
+            n += 1
+            if shadow.request(req):
+                hits += 1
+        shadow_mr = 1.0 - hits / n
+
+        # The shadow replays ~rate of the stream.  Wide tolerance: objects
+        # are sampled uniformly but requests are Zipf-weighted, so whether
+        # individual hot objects land in the sample dominates the count.
+        assert n == pytest.approx(len(trace) * rate, rel=0.35)
+        # …and its miss ratio approximates the full-scale ground truth,
+        # with error shrinking as R grows (the measured basis for the
+        # bench's R=0.2 default: ~0.08 at R=0.1 vs ~0.005 at R=0.2 here).
+        assert shadow_mr == pytest.approx(truth, abs=tol), (shadow_mr, truth)
+
+    def test_fidelity_improves_with_rate(self):
+        """Average |shadow − truth| over seeds shrinks as R grows — the
+        justification for the bench's R=0.2 default."""
+        trace = make_workload("CDN-T", n_requests=30_000)
+        capacity = max(int(trace.working_set_size * 0.05), 1)
+        truth = miss_ratio_curve(trace, [capacity])[capacity]
+
+        def mean_err(rate):
+            errs = []
+            for seed in range(3):
+                sampler = SpatialSampler(rate, seed=seed)
+                shadow = LRUCache(sampler.scaled_capacity(capacity))
+                n = hits = 0
+                for req in trace:
+                    if sampler.sampled(req.key):
+                        n += 1
+                        hits += shadow.request(req)
+                errs.append(abs(1.0 - hits / n - truth))
+            return sum(errs) / len(errs)
+
+        assert mean_err(0.4) <= mean_err(0.05) + 0.005

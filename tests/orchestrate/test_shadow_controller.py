@@ -1,0 +1,224 @@
+"""Shadow rack scoring and the switching controller's gate logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.cache.sieve import SieveCache
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import Probe
+from repro.orchestrate.controller import (
+    ControllerConfig,
+    Orchestrator,
+    SwitchController,
+    resolve_candidates,
+)
+from repro.orchestrate.shadow import DecayedRatio, ShadowRack
+from repro.sim.request import Request
+
+
+class _ListSink:
+    def __init__(self):
+        self.records = []
+
+    def write(self, rec):
+        self.records.append(rec)
+
+
+class TestDecayedRatio:
+    def test_empty_is_pessimal(self):
+        assert DecayedRatio(100).value == 1.0
+
+    def test_degrades_to_cumulative_early(self):
+        r = DecayedRatio(1_000)
+        for ind in (1, 0, 1, 0):
+            r.update(ind)
+        assert r.value == pytest.approx(0.5, abs=0.01)
+
+    def test_forgets_old_phase(self):
+        r = DecayedRatio(50)
+        for _ in range(500):
+            r.update(1.0)  # terrible phase
+        for _ in range(200):
+            r.update(0.0)  # now perfect
+        assert r.value < 0.05  # four windows later, the past is gone
+
+    def test_window_guard(self):
+        with pytest.raises(ValueError):
+            DecayedRatio(0)
+
+
+class TestShadowRack:
+    def _reqs(self, n, n_keys=50, size=100):
+        return [Request(t, t % n_keys, size) for t in range(n)]
+
+    def test_all_shadows_see_same_substream(self):
+        rack = ShadowRack(
+            {"LRU": LRUCache, "SIEVE": SieveCache}, 100_000, rate=0.5, seed=1
+        )
+        for req in self._reqs(4_000):
+            rack.observe(req)
+        cum = rack.cumulative()
+        assert cum["LRU"]["requests"] == cum["SIEVE"]["requests"] == rack.sampled_requests
+        assert 0 < rack.sampled_requests < 4_000
+
+    def test_shadow_capacity_is_scaled(self):
+        rack = ShadowRack({"LRU": LRUCache}, 100_000, rate=0.1)
+        assert rack.shadow_capacity == 10_000
+        assert rack.shadows["LRU"].policy.capacity == 10_000
+
+    def test_scores_and_best(self):
+        # A loop over n_keys objects whose footprint fits the shadow: any
+        # policy converges to ~0 windowed miss ratio; scores stay in [0, 1].
+        rack = ShadowRack({"LRU": LRUCache, "SIEVE": SieveCache}, 100_000, rate=1.0)
+        for req in self._reqs(5_000):
+            rack.observe(req)
+        scores = rack.scores()
+        assert set(scores) == {"LRU", "SIEVE"}
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+        assert rack.best() == min(scores, key=scores.get)
+
+    def test_registry_and_probe_wiring(self):
+        sink = _ListSink()
+        registry = MetricsRegistry()
+        rack = ShadowRack(
+            {"LRU": LRUCache}, 100_000, rate=1.0,
+            registry=registry, probe=Probe(sinks=[sink]),
+        )
+        for req in self._reqs(200, n_keys=10):
+            rack.observe(req)
+        snap = registry.snapshot()
+        assert snap["shadow_requests"][""]["value"] == 200
+        hits = snap["shadow_hits"]["policy=LRU"]["value"]
+        assert hits == 190  # 10 compulsory misses
+        assert sum(1 for r in sink.records if r["event"] == "shadow_hit") == hits
+
+    def test_empty_rack_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowRack({}, 1_000)
+
+
+class TestSwitchController:
+    CFG = ControllerConfig(
+        hysteresis=0.10, min_gap=0.01, cooldown=1_000, min_samples=100
+    )
+
+    def test_holds_without_evidence(self):
+        c = SwitchController(self.CFG)
+        assert c.consider(500, "A", {"A": 0.9, "B": 0.1}, sampled=50) is None
+
+    def test_switches_on_decisive_gap(self):
+        c = SwitchController(self.CFG)
+        assert c.consider(500, "A", {"A": 0.5, "B": 0.3}, sampled=500) == "B"
+        assert c.last_switch_at == 500
+
+    def test_hysteresis_blocks_marginal_challenger(self):
+        c = SwitchController(self.CFG)
+        # 4% relative improvement < 10% hysteresis.
+        assert c.consider(500, "A", {"A": 0.50, "B": 0.48}, sampled=500) is None
+
+    def test_min_gap_blocks_noise_in_low_miss_regime(self):
+        c = SwitchController(self.CFG)
+        # 20% relative gap but only 0.004 absolute — sampling noise.
+        assert c.consider(500, "A", {"A": 0.020, "B": 0.016}, sampled=500) is None
+
+    def test_cooldown_blocks_consecutive_switches(self):
+        c = SwitchController(self.CFG)
+        assert c.consider(500, "A", {"A": 0.5, "B": 0.3}, sampled=500) == "B"
+        # A new, even better challenger appears — but within cooldown.
+        scores = {"A": 0.5, "B": 0.3, "C": 0.1}
+        assert c.consider(900, "B", scores, sampled=500) is None
+        assert c.consider(1_600, "B", scores, sampled=500) == "C"
+
+    def test_incumbent_best_holds(self):
+        c = SwitchController(self.CFG)
+        assert c.consider(500, "A", {"A": 0.1, "B": 0.5}, sampled=500) is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(hysteresis=1.5)
+        with pytest.raises(ValueError):
+            ControllerConfig(eval_every=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(objective="latency")
+
+
+class TestOrchestrator:
+    def _drive(self, orch, n, n_keys, size=100, hit=True):
+        for t in range(n):
+            orch.record(Request(t, t % n_keys, size), hit)
+
+    def test_swap_callback_fires_with_promoted_factory(self):
+        calls = []
+        cfg = ControllerConfig(
+            hysteresis=0.05, min_gap=0.0, cooldown=100, min_samples=50, eval_every=100
+        )
+        # Tiny live cache: LRU thrashes on a cyclic scan over > capacity
+        # keys while SIEVE retains; the rack sees the gap and promotes.
+        orch = Orchestrator(
+            {"LRU": LRUCache, "SIEVE": SieveCache},
+            capacity=2_000,
+            swap=lambda name, factory: calls.append(name),
+            rate=1.0,
+            config=cfg,
+        )
+        for t in range(4_000):
+            orch.record(Request(t, t % 30, 100), hit=False)
+        if calls:  # promotion happened: state must be consistent
+            assert orch.current == calls[-1]
+            assert orch.switches[-1].to == calls[-1]
+
+    def test_observer_mode_accumulates_without_swapping(self):
+        cfg = ControllerConfig(min_samples=10, eval_every=50, cooldown=100)
+        orch = Orchestrator(
+            {"LRU": LRUCache, "SIEVE": SieveCache}, 10_000, swap=None,
+            rate=1.0, config=cfg,
+        )
+        self._drive(orch, 1_000, n_keys=20, hit=False)
+        assert orch.controller.evaluations == 20
+        summary = orch.summary()
+        assert summary["requests"] == 1_000
+        assert summary["shadow"]["sampled_requests"] == 1_000
+
+    def test_regret_zero_when_live_matches_best(self):
+        cfg = ControllerConfig(min_samples=1, eval_every=100)
+        orch = Orchestrator({"LRU": LRUCache}, 10_000, rate=1.0, config=cfg)
+        # Live always hits: live windowed mr 0 <= any shadow score.
+        self._drive(orch, 1_000, n_keys=10, hit=True)
+        assert orch.regret == 0.0
+
+    def test_regret_grows_when_live_lags_best(self):
+        cfg = ControllerConfig(min_samples=1, eval_every=100)
+        orch = Orchestrator({"LRU": LRUCache}, 10_000, rate=1.0, config=cfg)
+        # Live always misses while the shadow converges to ~0 miss ratio.
+        self._drive(orch, 1_000, n_keys=10, hit=False)
+        assert orch.regret > 500  # ~1.0 excess mr over most windows
+
+    def test_probe_emits_policy_switch(self):
+        sink = _ListSink()
+        cfg = ControllerConfig(
+            hysteresis=0.01, min_gap=0.0, cooldown=10, min_samples=10, eval_every=50
+        )
+        orch = Orchestrator(
+            {"LRU": LRUCache, "SIEVE": SieveCache}, 2_000,
+            rate=1.0, config=cfg, probe=Probe(sinks=[sink]),
+        )
+        for t in range(4_000):
+            orch.record(Request(t, t % 30, 100), hit=False)
+        switches = [r for r in sink.records if r["event"] == "policy_switch"]
+        assert len(switches) == len(orch.switches)
+        for rec, ev in zip(switches, orch.switches):
+            assert (rec["at"], rec["frm"], rec["to"]) == (ev.at, ev.frm, ev.to)
+
+    def test_unknown_current_rejected(self):
+        with pytest.raises(ValueError):
+            Orchestrator({"LRU": LRUCache}, 1_000, current="GDSF")
+
+    def test_resolve_candidates(self):
+        factories = resolve_candidates(["LRU", "SCIP", "GDSF"])
+        assert list(factories) == ["LRU", "SCIP", "GDSF"]
+        policy = factories["SCIP"](10_000)
+        assert policy.capacity == 10_000
+        with pytest.raises(KeyError):
+            resolve_candidates(["NOPE"])

@@ -35,6 +35,38 @@ class TestHashRing:
         # The newcomer should take roughly 1/4 of the keyspace, not most.
         assert moved < len(before) * 0.45
 
+    def test_reshuffle_fraction_bounded_across_ring_sizes(self):
+        """Property pin: on a join or a leave, the moved-key fraction stays
+        within ~2× the ideal 1/n share — the bound that makes consistent
+        hashing worth its complexity over modulo routing — and holds across
+        ring sizes, not just one lucky configuration."""
+        keys = range(4_000)
+        for n in (4, 6, 8, 12):
+            nodes = [f"n{i}" for i in range(n)]
+            ring = HashRing(nodes, vnodes=128)
+            before = {k: ring.route(k) for k in keys}
+
+            # Join: the newcomer ideally absorbs 1/(n+1) of the keyspace.
+            ring.add_node("joiner")
+            moved = {k for k, owner in before.items() if ring.route(k) != owner}
+            assert len(moved) <= len(before) * 2.0 / (n + 1), (n, len(moved))
+            # No collateral movement: every moved key went TO the joiner.
+            assert all(ring.route(k) == "joiner" for k in moved)
+
+            # Leave is the exact inverse: draining the joiner restores the
+            # previous assignment bit-for-bit (ring points are deterministic).
+            ring.remove_node("joiner")
+            assert all(ring.route(k) == owner for k, owner in before.items())
+
+            # Draining an original node moves only its keys, and its share
+            # was itself bounded by ~2/n.
+            victim = nodes[n // 2]
+            owned = {k for k, owner in before.items() if owner == victim}
+            ring.remove_node(victim)
+            moved = {k for k, owner in before.items() if ring.route(k) != owner}
+            assert moved == owned
+            assert len(owned) <= len(before) * 2.0 / n, (n, len(owned))
+
     def test_add_idempotent(self):
         ring = HashRing(["a"])
         n = len(ring._ring)
