@@ -48,6 +48,7 @@ __all__ = [
     "INSERTION_POLICIES",
     "REPLACEMENT_POLICIES",
     "make_policy",
+    "available_policies",
     "LRUCache",
     "FIFOCache",
     "LFUCache",
@@ -135,9 +136,18 @@ REPLACEMENT_POLICIES = (
 
 
 def make_policy(name: str, capacity: int, **kwargs) -> CachePolicy:
-    """Instantiate a registered policy by display name."""
-    try:
-        cls = POLICIES[name]
-    except KeyError:
-        raise KeyError(f"unknown policy {name!r}; available: {sorted(POLICIES)}") from None
-    return cls(capacity, **kwargs)
+    """Instantiate a registered policy by display name.
+
+    Delegates to :mod:`repro.cache.registry` — the unified registry, which
+    also covers the paper's learned policies (SCIP, SCI).
+    """
+    from repro.cache.registry import make_policy as _make
+
+    return _make(name, capacity, **kwargs)
+
+
+def available_policies():
+    """Sorted names of every registered policy (see :mod:`repro.cache.registry`)."""
+    from repro.cache.registry import available_policies as _avail
+
+    return _avail()

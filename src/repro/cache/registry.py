@@ -1,0 +1,106 @@
+"""The one policy registry: every constructible policy, registered once.
+
+Before this module existed the name → class map was maintained in three
+places — :data:`repro.cache.POLICIES` plus ad-hoc ``registry["SCIP"] =
+SCIPCache`` special-casing in the CLI, the perf bench, the orchestrator
+and the parallel sweep runner — and they drifted (different error
+messages, different availability of SCIP/SCI).  Everything now funnels
+through here:
+
+* :func:`available_policies` — the canonical sorted name tuple;
+* :func:`resolve_policy` — name → factory (``capacity -> CachePolicy``);
+* :func:`make_policy` — name + capacity (+ kwargs) → instance.
+
+The paper's learned policies (SCIP, SCI) live in :mod:`repro.core`, which
+itself imports :mod:`repro.cache` — so they are registered lazily on first
+use rather than at import time, keeping the package import-cycle free.
+:func:`register_policy` is the extension point for out-of-tree policies
+(tests use it); registering a duplicate name is an error, not a silent
+overwrite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cache.base import CachePolicy
+
+__all__ = [
+    "available_policies",
+    "make_policy",
+    "policy_registry",
+    "resolve_policy",
+    "register_policy",
+    "unregister_policy",
+]
+
+#: name → factory; populated lazily by :func:`_registry`.
+_REGISTRY: Optional[Dict[str, Callable[..., CachePolicy]]] = None
+
+
+def _registry() -> Dict[str, Callable[..., CachePolicy]]:
+    """Build (once) and return the full name → factory map."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        from repro.cache import POLICIES
+        from repro.core.sci import SCICache
+        from repro.core.scip import SCIPCache
+
+        reg: Dict[str, Callable[..., CachePolicy]] = dict(POLICIES)
+        reg["SCIP"] = SCIPCache
+        reg["SCI"] = SCICache
+        _REGISTRY = reg
+    return _REGISTRY
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Sorted names of every registered policy."""
+    return tuple(sorted(_registry()))
+
+
+def policy_registry() -> Dict[str, Callable[..., CachePolicy]]:
+    """A copy of the full name → factory map (mutations don't stick —
+    use :func:`register_policy` to extend the registry)."""
+    return dict(_registry())
+
+
+def resolve_policy(name: str) -> Callable[..., CachePolicy]:
+    """Factory (``capacity, **kwargs -> CachePolicy``) for a registered name.
+
+    Raises ``KeyError`` with the canonical "unknown policy" message — the
+    CLI prints it verbatim and exits 2, so every subcommand reports the
+    same way.
+    """
+    try:
+        return _registry()[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {list(available_policies())}"
+        ) from None
+
+
+def make_policy(name: str, capacity: int, **kwargs) -> CachePolicy:
+    """Instantiate a registered policy by display name."""
+    return resolve_policy(name)(capacity, **kwargs)
+
+
+def register_policy(
+    name: str, factory: Callable[..., CachePolicy], replace: bool = False
+) -> None:
+    """Register an additional policy (plugins, tests).
+
+    ``replace=True`` permits shadowing an existing name; without it a
+    duplicate registration raises ``ValueError``.
+    """
+    reg = _registry()
+    if not replace and name in reg:
+        raise ValueError(f"policy {name!r} already registered")
+    reg[name] = factory
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a registered policy (plugin teardown; ``KeyError`` if absent)."""
+    reg = _registry()
+    if name not in reg:
+        raise KeyError(f"unknown policy {name!r}")
+    del reg[name]

@@ -1,0 +1,154 @@
+""":class:`SmartCache` — use SCIP (or any policy in the zoo) as an actual
+cache in an application, not just a simulator subject.
+
+:class:`SmartCache` wraps a policy with a dict-like get/put interface and
+takes care of the bookkeeping a replay engine normally does — logical
+clocks, request construction, hit/miss accounting::
+
+    from repro.api import SmartCache
+
+    cache = SmartCache(capacity_bytes=512 * 2**20)   # SCIP by default
+    value = cache.get("user:42")                      # None on a miss
+    if value is None:
+        value = fetch_from_origin("user:42")
+        cache.put("user:42", value)
+    print(cache.stats())
+
+Values can be arbitrary Python objects; their cache *size* defaults to a
+``len()``-based estimate and can be given explicitly.  String keys are
+hashed to the integer key space the policies use.  Named policies are
+resolved through the unified :mod:`repro.cache.registry`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from repro.cache.base import CachePolicy
+from repro.sim.request import Request
+
+__all__ = ["SmartCache"]
+
+
+def _default_sizeof(value: Any) -> int:
+    """Best-effort byte size of a value."""
+    if isinstance(value, (bytes, bytearray, memoryview, str)):
+        return max(len(value), 1)
+    try:
+        return max(len(value), 1) * 8  # containers: rough per-item cost
+    except TypeError:
+        return max(sys.getsizeof(value), 1)
+
+
+class SmartCache:
+    """Application-facing cache backed by any policy in the zoo.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Cache budget.
+    policy:
+        Registry name (default ``"SCIP"``) or a pre-built
+        :class:`~repro.cache.base.CachePolicy` instance.
+    sizeof:
+        Value-size estimator; defaults to a ``len``-based heuristic.
+    policy_kwargs:
+        Extra constructor arguments for the named policy.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: str | CachePolicy = "SCIP",
+        sizeof: Optional[Callable[[Any], int]] = None,
+        **policy_kwargs,
+    ):
+        if isinstance(policy, CachePolicy):
+            if policy_kwargs:
+                raise ValueError("policy_kwargs only apply to named policies")
+            self._policy = policy
+        else:
+            from repro.cache.registry import make_policy
+
+            self._policy = make_policy(policy, capacity_bytes, **policy_kwargs)
+        self._sizeof = sizeof or _default_sizeof
+        self._values: Dict[int, Any] = {}
+        self._clock = 0
+
+    # -- key mapping -------------------------------------------------------------
+    @staticmethod
+    def _key(key: Hashable) -> int:
+        return hash(key)
+
+    # -- dict-ish interface ----------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up a value; records a hit/miss with the policy.
+
+        A miss does *not* reserve space — call :meth:`put` with the fetched
+        value to admit it (read-through is :meth:`get_or_load`).
+        """
+        k = self._key(key)
+        self._clock += 1
+        if self._policy.contains(k):
+            size = self._sizeof(self._values[k])
+            self._policy.request(Request(self._clock, k, size))
+            return self._values.get(k, default)
+        return default
+
+    def put(self, key: Hashable, value: Any, size: Optional[int] = None) -> None:
+        """Insert/update a value (runs the policy's miss/hit path)."""
+        k = self._key(key)
+        self._clock += 1
+        self._values[k] = value
+        self._policy.request(Request(self._clock, k, size or self._sizeof(value)))
+        self._gc()
+
+    def get_or_load(
+        self, key: Hashable, loader: Callable[[], Any], size: Optional[int] = None
+    ) -> Any:
+        """Read-through: return the cached value or load + admit it."""
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value
+        value = loader()
+        self.put(key, value, size=size)
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self._policy.contains(self._key(key))
+
+    def __len__(self) -> int:
+        return len(self._policy)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Explicitly drop a key (origin purge).  Returns residency."""
+        k = self._key(key)
+        self._values.pop(k, None)
+        remover = getattr(self._policy, "remove", None)
+        if remover is not None:
+            return remover(k) is not None
+        return False  # pragma: no cover - non-queue policies keep stats only
+
+    # -- bookkeeping --------------------------------------------------------------------
+    def _gc(self) -> None:
+        """Drop values whose metadata the policy has evicted.
+
+        Values are swept opportunistically once the map doubles past the
+        resident set (rather than via an eviction callback), keeping the
+        facade policy-agnostic; each sweep at least halves the map, so the
+        amortised cost per put is O(1).
+        """
+        if len(self._values) > 2 * len(self._policy) + 128:
+            self._values = {
+                k: v for k, v in self._values.items() if self._policy.contains(k)
+            }
+
+    def stats(self) -> dict:
+        """Hit/miss statistics from the underlying policy."""
+        out = self._policy.stats.as_dict()
+        out["policy"] = self._policy.name
+        out["used_bytes"] = self._policy.used
+        out["capacity_bytes"] = self._policy.capacity
+        return out

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands mirror the library's workflow::
+Nine subcommands mirror the library's workflow::
 
     python -m repro simulate    --policy SCIP --workload CDN-T --fraction 0.02 \\
                                 [--trace-out events.jsonl --obs-summary]
@@ -11,6 +11,8 @@ Eight subcommands mirror the library's workflow::
     python -m repro serve-bench [--quick] [--shards 4] [-o BENCH_serve.json]
     python -m repro orchestrate-bench [--quick] [--trace diurnal] \\
                                 [-o BENCH_orchestrate.json]
+    python -m repro cluster-bench [--quick] [--nodes 3] [--replications 1,2] \\
+                                [-o BENCH_cluster.json]
     python -m repro obs         events.jsonl [--rows 24]
 
 `simulate` replays one policy on one workload (optionally recording a
@@ -23,8 +25,15 @@ runs the concurrent asyncio cache service plus its closed-loop load
 generator in one process (coalescing, backpressure, origin latency) and
 writes ``BENCH_serve.json``; `orchestrate-bench` runs the shadow-cache
 policy orchestrator against every fixed candidate on a nonstationary
-drift trace and writes ``BENCH_orchestrate.json``; `obs` reads an event
-stream back into the ω_m/ω_l and λ learner trajectories.
+drift trace and writes ``BENCH_orchestrate.json``; `cluster-bench`
+replays a drift trace through the replicated multi-node cluster while
+killing and restarting the busiest node, once per replication factor,
+and writes ``BENCH_cluster.json``; `obs` reads an event stream back into
+the ω_m/ω_l and λ learner trajectories.
+
+Policy names everywhere come from the unified registry
+(:func:`repro.cache.registry.available_policies`); every subcommand exits
+2 on invalid arguments (unknown policy/trace names, out-of-range knobs).
 """
 
 from __future__ import annotations
@@ -37,18 +46,15 @@ __all__ = ["main"]
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.cache import POLICIES
-    from repro.core.sci import SCICache
-    from repro.core.scip import SCIPCache
+    from repro.cache.registry import resolve_policy
     from repro.sim.engine import simulate
     from repro.traces.cdn import make_workload
     from repro.traces.io import read_lrb
 
-    registry = dict(POLICIES)
-    registry["SCIP"] = SCIPCache
-    registry["SCI"] = SCICache
-    if args.policy not in registry:
-        print(f"unknown policy {args.policy!r}; available: {sorted(registry)}")
+    try:
+        factory = resolve_policy(args.policy)
+    except KeyError as exc:
+        print(str(exc).strip('"\''))
         return 2
     if args.trace_file:
         trace = read_lrb(args.trace_file)
@@ -73,7 +79,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
 
     try:
-        res = simulate(registry[args.policy](cap), trace, warmup=args.warmup, obs=obs)
+        res = simulate(factory(cap), trace, warmup=args.warmup, obs=obs)
     except OSError as exc:
         if obs is None:
             raise
@@ -292,6 +298,60 @@ def _cmd_orchestrate_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from repro.cluster.bench import format_cluster_doc, run_cluster_bench
+
+    if args.nodes < 1:
+        print(f"--nodes must be >= 1, got {args.nodes}")
+        return 2
+    try:
+        replications = tuple(
+            int(r.strip()) for r in args.replications.split(",") if r.strip()
+        )
+    except ValueError:
+        print(f"--replications must be comma-separated ints, got {args.replications!r}")
+        return 2
+    if not replications:
+        print("--replications needs at least one replication factor")
+        return 2
+    for r in replications:
+        if not 1 <= r <= args.nodes:
+            print(f"--replications entries must be in [1, --nodes={args.nodes}], got {r}")
+            return 2
+    if not 0.0 < args.kill_frac < args.restart_frac <= 1.0:
+        print(
+            "--kill-frac and --restart-frac must satisfy "
+            f"0 < kill < restart <= 1, got {args.kill_frac} / {args.restart_frac}"
+        )
+        return 2
+    try:
+        doc = run_cluster_bench(
+            trace=args.trace,
+            n_requests=args.requests,
+            n_nodes=args.nodes,
+            policy=args.policy,
+            fraction=args.fraction,
+            n_shards=args.shards,
+            kill_frac=args.kill_frac,
+            restart_frac=args.restart_frac,
+            window=args.window,
+            replications=replications,
+            seed=args.seed,
+            output=args.output or None,
+            quick=args.quick,
+        )
+    except KeyError as exc:
+        print(str(exc).strip('"\''))
+        return 2
+    except OSError as exc:
+        print(f"cannot write {args.output}: {exc}")
+        return 2
+    print(format_cluster_doc(doc))
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -421,6 +481,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: 40k requests, two-candidate menu (~seconds)")
     p.set_defaults(func=_cmd_orchestrate_bench)
+
+    p = sub.add_parser(
+        "cluster-bench",
+        help="replicated multi-node cluster under a kill/restart fault schedule",
+    )
+    p.add_argument("--trace", default="flash",
+                   choices=["churn", "sizeshift", "flash", "diurnal"],
+                   help="drift trace family replayed through the cluster")
+    p.add_argument("-n", "--requests", type=int, default=60_000,
+                   help="trace length (--quick caps at 24000)")
+    p.add_argument("--nodes", type=int, default=3, help="fleet size")
+    p.add_argument("--policy", default="LRU", help="per-node cache policy")
+    p.add_argument("--fraction", type=float, default=0.1,
+                   help="total cluster capacity as WSS fraction")
+    p.add_argument("--shards", type=int, default=1, help="shards per node service")
+    p.add_argument("--replications", default="1,2",
+                   help="comma-separated replication factors to compare")
+    p.add_argument("--kill-frac", type=float, default=0.4,
+                   help="kill the busiest node at this fraction of the trace")
+    p.add_argument("--restart-frac", type=float, default=0.7,
+                   help="restart it (cold) at this fraction of the trace")
+    p.add_argument("--window", type=int, default=2_000,
+                   help="hit-ratio window size for dip/recovery measurement")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default="BENCH_cluster.json",
+                   help="result JSON path ('' to skip)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: 24k requests, 1k windows (~seconds)")
+    p.set_defaults(func=_cmd_cluster_bench)
 
     p = sub.add_parser("obs", help="render learner trajectories from a JSONL event stream")
     p.add_argument("events", help="events.jsonl[.gz] written by simulate --trace-out")

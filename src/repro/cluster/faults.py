@@ -1,0 +1,161 @@
+"""Scripted failure injection: what breaks, where, and at which request.
+
+A :class:`FaultPlan` is a deterministic schedule of node-level faults
+keyed by **request offset** (the cluster replay's logical clock), not by
+wall time — the same plan against the same trace produces the same
+failure placement on every run, which is what makes ``BENCH_cluster.json``
+reproducible from its manifest and lets tests pin exact failover counts.
+
+Four action kinds:
+
+``kill``
+    Stop the node and discard its cache state (crash semantics).
+``restart``
+    Bring a killed node back **cold** — its recovery ramp is the point.
+``slow``
+    Degrade the node: every data-plane call pays ``extra_latency_s`` more
+    (an overloaded box that still answers, just late).
+``recover``
+    Clear a ``slow`` degradation.
+
+The plan itself is pure data; :meth:`ClusterRouter.apply_faults
+<repro.cluster.router.ClusterRouter.apply_faults>` consumes due actions
+as the replay clock advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["FaultAction", "FaultPlan", "FAULT_KINDS"]
+
+#: Recognised action kinds.
+FAULT_KINDS = ("kill", "restart", "slow", "recover")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    at:
+        Request offset at which the action fires (0-based; an action at
+        ``at=N`` is applied before request ``N`` is routed).
+    kind:
+        One of :data:`FAULT_KINDS`.
+    node:
+        Target node id.
+    extra_latency_s:
+        For ``slow``: the additive per-call latency.  Ignored otherwise.
+    """
+
+    at: int
+    kind: str
+    node: str
+    extra_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
+        if self.at < 0:
+            raise ValueError(f"fault offset must be >= 0, got {self.at}")
+        if self.kind == "slow" and self.extra_latency_s <= 0:
+            raise ValueError("slow fault needs extra_latency_s > 0")
+
+    def as_dict(self) -> dict:
+        doc = {"at": self.at, "kind": self.kind, "node": self.node}
+        if self.kind == "slow":
+            doc["extra_latency_s"] = self.extra_latency_s
+        return doc
+
+
+class FaultPlan:
+    """An ordered, consumable schedule of :class:`FaultAction`.
+
+    Build it fluently::
+
+        plan = (FaultPlan()
+                .kill("n0", at=20_000)
+                .restart("n0", at=40_000)
+                .slow("n1", at=5_000, extra_latency_s=0.002)
+                .recover("n1", at=8_000))
+
+    or from persisted dicts via :meth:`from_dicts` (the manifest
+    round-trip).  :meth:`due` pops every action scheduled at or before the
+    given offset, in schedule order; a plan is exhausted once all actions
+    have been consumed.
+    """
+
+    def __init__(self, actions: Iterable[FaultAction] = ()):
+        self._actions: List[FaultAction] = sorted(actions, key=lambda a: a.at)
+        self._cursor = 0
+
+    # -- fluent builders ---------------------------------------------------
+    def add(self, action: FaultAction) -> "FaultPlan":
+        if self._cursor:
+            raise RuntimeError("cannot extend a partially consumed FaultPlan")
+        self._actions.append(action)
+        self._actions.sort(key=lambda a: a.at)
+        return self
+
+    def kill(self, node: str, at: int) -> "FaultPlan":
+        return self.add(FaultAction(at=at, kind="kill", node=node))
+
+    def restart(self, node: str, at: int) -> "FaultPlan":
+        return self.add(FaultAction(at=at, kind="restart", node=node))
+
+    def slow(self, node: str, at: int, extra_latency_s: float) -> "FaultPlan":
+        return self.add(
+            FaultAction(at=at, kind="slow", node=node, extra_latency_s=extra_latency_s)
+        )
+
+    def recover(self, node: str, at: int) -> "FaultPlan":
+        return self.add(FaultAction(at=at, kind="recover", node=node))
+
+    # -- consumption -------------------------------------------------------
+    def due(self, offset: int) -> Tuple[FaultAction, ...]:
+        """Pop (and return) every action with ``at <= offset``."""
+        start = self._cursor
+        cursor = start
+        actions = self._actions
+        while cursor < len(actions) and actions[cursor].at <= offset:
+            cursor += 1
+        self._cursor = cursor
+        return tuple(actions[start:cursor])
+
+    @property
+    def next_at(self) -> Optional[int]:
+        """Offset of the next unconsumed action (``None`` when exhausted)."""
+        if self._cursor < len(self._actions):
+            return self._actions[self._cursor].at
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._actions)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self):
+        return iter(self._actions)
+
+    # -- (de)serialisation -------------------------------------------------
+    def as_dicts(self) -> List[dict]:
+        """Manifest-ready representation (see :meth:`from_dicts`)."""
+        return [a.as_dict() for a in self._actions]
+
+    @classmethod
+    def from_dicts(cls, docs: Iterable[dict]) -> "FaultPlan":
+        """Rebuild a plan persisted by :meth:`as_dicts`."""
+        return cls(
+            FaultAction(
+                at=d["at"],
+                kind=d["kind"],
+                node=d["node"],
+                extra_latency_s=d.get("extra_latency_s", 0.0),
+            )
+            for d in docs
+        )

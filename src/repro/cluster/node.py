@@ -1,0 +1,109 @@
+"""One cluster node: a cold-startable cache service with liveness state.
+
+A node owns nothing but a factory: :meth:`ClusterNode.start` builds a
+fresh :class:`~repro.serve.service.CacheService` (its own shards, its own
+policy instances), and :meth:`ClusterNode.stop` closes and *discards* it.
+A kill/restart cycle therefore restarts the node **cold** — exactly the
+dynamics a cluster bench needs to show recovery ramps — while a planned
+drain can first hand resident metadata off through the
+:class:`~repro.cluster.rebalance.Rebalancer`.
+
+Slow-node degradation is a per-node additive latency (``slow_s``) applied
+in front of every data-plane call, modelling an overloaded or
+link-degraded box that still answers correctly, just late.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+from repro.serve.results import ServeOutcome
+from repro.serve.service import CacheService
+from repro.sim.request import Request
+
+__all__ = ["ClusterNode"]
+
+
+class ClusterNode:
+    """One cache node of the cluster.
+
+    Parameters
+    ----------
+    node_id:
+        Ring identifier (metric label, probe field).
+    service_factory:
+        Zero-arg factory building a **fresh, cold** ``CacheService``; the
+        node calls it on every (re)start.  Services must share the
+        cluster's origin if origin accounting is to stay cluster-wide.
+    """
+
+    def __init__(self, node_id: str, service_factory: Callable[[], CacheService]):
+        self.node_id = node_id
+        self._factory = service_factory
+        self.service: Optional[CacheService] = None
+        self.up = False
+        #: Injected extra latency per data-plane call, seconds (0 = healthy).
+        self.slow_s = 0.0
+        #: Lifecycle counters: ``starts`` counts every (re)build; ``kills``
+        #: counts crash-stops only (the router increments it — a graceful
+        #: cluster shutdown or drain is not a kill).
+        self.starts = 0
+        self.kills = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "ClusterNode":
+        """(Re)build the service cold and mark the node up (idempotent)."""
+        if not self.up:
+            self.service = self._factory()
+            await self.service.start()
+            self.up = True
+            self.starts += 1
+        return self
+
+    async def stop(self) -> None:
+        """Close and discard the service; the node's cache state is gone."""
+        if self.up:
+            service, self.service = self.service, None
+            self.up = False
+            await service.close()
+
+    # -- data plane --------------------------------------------------------
+    async def get(self, req: Request) -> ServeOutcome:
+        """Serve one request (the router checks :attr:`up` first)."""
+        if not self.up:
+            raise RuntimeError(f"get on down node {self.node_id!r}")
+        if self.slow_s > 0:
+            await asyncio.sleep(self.slow_s)
+        return await self.service.get(req)
+
+    async def fill(self, req: Request) -> bool:
+        """Replication fill (see :meth:`CacheService.fill`)."""
+        if not self.up:
+            raise RuntimeError(f"fill on down node {self.node_id!r}")
+        if self.slow_s > 0:
+            await asyncio.sleep(self.slow_s)
+        return await self.service.fill(req)
+
+    # -- introspection -----------------------------------------------------
+    def health(self) -> dict:
+        doc = {
+            "node": self.node_id,
+            "up": self.up,
+            "slow_s": self.slow_s,
+            "starts": self.starts,
+            "kills": self.kills,
+        }
+        if self.up:
+            doc["service"] = self.service.health()
+        return doc
+
+    def stats(self) -> dict:
+        doc = self.health()
+        if self.up:
+            doc["cache"] = self.service.cache_stats()
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "down"
+        return f"ClusterNode({self.node_id!r}, {state})"

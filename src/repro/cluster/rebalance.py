@@ -1,0 +1,149 @@
+"""Ring membership changes on a live cluster: joins, drains, replacements.
+
+The consistent-hash ring already bounds the blast radius of a membership
+change to ~1/n of the keyspace per node (measured by
+:meth:`Rebalancer.moved_fraction`; a replacement = one leave + one join ≈
+2/n).  What the ring cannot do is move *cache contents*: every reshuffled
+key is a cold miss at its new owner.  The :class:`Rebalancer` closes that
+gap with an optional **warm handoff** — after the ring changes, resident
+object metadata is walked (:meth:`CacheService.resident_entries
+<repro.serve.service.CacheService.resident_entries>`) and re-admitted at
+each entry's new live owners through the replication fill path, so the
+reshuffled slice of the keyspace arrives warm instead of cold.
+
+Handoff is best-effort by design: only queue-structured policies expose
+their resident set, fills respect per-node capacity (an object that no
+longer fits is simply dropped), and a node that dies mid-handoff just
+loses its share.  Every membership change emits a ``rebalance`` obs event
+and bumps ``cluster_rebalances``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.cluster.node import ClusterNode
+from repro.cluster.router import ClusterRouter
+from repro.sim.request import Request
+
+__all__ = ["Rebalancer"]
+
+
+class Rebalancer:
+    """Membership-change operator for a live :class:`ClusterRouter`."""
+
+    def __init__(self, router: ClusterRouter):
+        self.router = router
+
+    # -- reshuffle measurement ---------------------------------------------
+    def snapshot_owners(self, keys: Iterable[int]) -> Dict[int, str]:
+        """Primary owner per key at current membership (take *before* a
+        change, compare with :meth:`moved_fraction` after)."""
+        ring = self.router.ring
+        return {k: ring.route(k) for k in keys}
+
+    def moved_fraction(self, before: Dict[int, str]) -> float:
+        """Fraction of the snapshot whose primary owner changed.
+
+        For a single join or drain on an n-node ring this should land near
+        1/n (a replacement, being one of each, near 2/n) — the bound that
+        justifies consistent hashing over modulo routing.
+        """
+        if not before:
+            return 0.0
+        ring = self.router.ring
+        moved = sum(1 for k, owner in before.items() if ring.route(k) != owner)
+        return moved / len(before)
+
+    # -- membership changes ------------------------------------------------
+    async def add_node(self, node: ClusterNode, warm: bool = False) -> dict:
+        """Join a (cold) node: start it, extend the ring, optionally warm
+        the reshuffled slice from the surviving owners' resident sets."""
+        router = self.router
+        if node.node_id in router.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        await node.start()
+        router.nodes[node.node_id] = node
+        router.ring.add_node(node.node_id)
+        router.metrics.node_up(node.node_id, True)
+        moved = 0
+        if warm:
+            moved = await self._warm_into(node)
+        return self._record("add", node.node_id, moved)
+
+    async def remove_node(self, node_id: str, warm: bool = False) -> dict:
+        """Drain a node: shrink the ring, optionally hand its residents to
+        their new owners, then stop and forget it."""
+        router = self.router
+        node = router.nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"unknown node {node_id!r}")
+        if len(router.nodes) == 1:
+            raise ValueError("cannot remove the last node")
+        router.ring.remove_node(node_id)
+        moved = 0
+        if warm and node.up:
+            moved = await self._hand_off(node)
+        await node.stop()
+        del router.nodes[node_id]
+        router.metrics.node_up(node_id, False)
+        return self._record("remove", node_id, moved)
+
+    async def replace_node(
+        self, old_id: str, new_node: ClusterNode, warm: bool = False
+    ) -> dict:
+        """Swap a node for a cold replacement (one drain + one join, so the
+        reshuffle is ~2/n).  With ``warm=True`` the leaver hands off first
+        and the joiner is then warmed from the survivors."""
+        removed = await self.remove_node(old_id, warm=warm)
+        added = await self.add_node(new_node, warm=warm)
+        moved = removed["moved_entries"] + added["moved_entries"]
+        return self._record("replace", new_node.node_id, moved, frm=old_id)
+
+    # -- warm handoff internals --------------------------------------------
+    async def _hand_off(self, leaver: ClusterNode) -> int:
+        """Re-admit the leaver's residents at their new live owners."""
+        router = self.router
+        moved = 0
+        for key, size in list(leaver.service.resident_entries()):
+            req = Request(0, key, size)
+            for owner in router.owners_for(key):
+                target = router.nodes.get(owner)
+                if target is None or not target.up:
+                    continue
+                if await target.fill(req):
+                    moved += 1
+        return moved
+
+    async def _warm_into(self, joiner: ClusterNode) -> int:
+        """Copy entries the ring now assigns to the joiner from survivors."""
+        router = self.router
+        moved = 0
+        seen = set()
+        for other in list(router.nodes.values()):
+            if other is joiner or not other.up:
+                continue
+            for key, size in list(other.service.resident_entries()):
+                if key in seen:
+                    continue
+                if joiner.node_id not in router.owners_for(key):
+                    continue
+                seen.add(key)
+                if await joiner.fill(Request(0, key, size)):
+                    moved += 1
+        return moved
+
+    def _record(self, action: str, node_id: str, moved: int, frm=None) -> dict:
+        router = self.router
+        router.metrics.rebalances.inc()
+        doc = {
+            "action": action,
+            "node": node_id,
+            "moved_entries": moved,
+            "ring_size": len(router.ring),
+        }
+        if frm is not None:
+            doc["frm"] = frm
+        if router.probe is not None:
+            router.probe.emit("rebalance", at=router.t, **doc)
+        return doc

@@ -31,6 +31,13 @@ event                emitted by
 ``shadow_hit``       ``orchestrate.ShadowRack`` — sampled hit in one shadow
 ``policy_switch``    ``orchestrate.Orchestrator`` promotion / ``serve.
                      CacheShard`` live swap executed on the owner task
+``node_down``        ``cluster.ClusterRouter`` — a node was killed (fault
+                     plan or operator action)
+``node_up``          ``cluster.ClusterRouter`` — a node (re)started cold
+``failover``         ``cluster.ClusterRouter`` — a request skipped one or
+                     more dead owners (served by a replica or the origin)
+``rebalance``        ``cluster.Rebalancer`` — ring membership changed
+                     (node added/removed/replaced, optional warm handoff)
 ==================== ==========================================================
 
 Every record carries ``seq`` (emission order) and, when the probe has a
@@ -63,6 +70,10 @@ PROBE_EVENTS = frozenset(
         "shed",
         "shadow_hit",
         "policy_switch",
+        "node_down",
+        "node_up",
+        "failover",
+        "rebalance",
     }
 )
 

@@ -49,20 +49,11 @@ __all__ = [
 
 
 def resolve_candidates(names) -> Dict[str, Callable[[int], CachePolicy]]:
-    """Resolve display names to policy factories (the zoo plus SCIP/SCI)."""
-    from repro.cache import POLICIES
-    from repro.core.sci import SCICache
-    from repro.core.scip import SCIPCache
+    """Resolve display names to policy factories via the unified
+    :mod:`repro.cache.registry` (the zoo plus SCIP/SCI)."""
+    from repro.cache.registry import resolve_policy
 
-    registry = dict(POLICIES)
-    registry["SCIP"] = SCIPCache
-    registry["SCI"] = SCICache
-    out: Dict[str, Callable[[int], CachePolicy]] = {}
-    for name in names:
-        if name not in registry:
-            raise KeyError(f"unknown policy {name!r}; available: {sorted(registry)}")
-        out[name] = registry[name]
-    return out
+    return {name: resolve_policy(name) for name in names}
 
 
 @dataclass

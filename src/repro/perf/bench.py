@@ -49,16 +49,22 @@ BENCH_SCHEMA = 1
 
 
 def bench_registry() -> Dict[str, Callable[[int], object]]:
-    """Name → factory map covering every benchable policy (heuristics from
-    :data:`repro.cache.POLICIES` plus the paper's SCIP/SCI)."""
-    from repro.cache import POLICIES
-    from repro.core.sci import SCICache
-    from repro.core.scip import SCIPCache
+    """Deprecated: use :mod:`repro.cache.registry` instead.
 
-    registry: Dict[str, Callable[[int], object]] = dict(POLICIES)
-    registry["SCIP"] = SCIPCache
-    registry["SCI"] = SCICache
-    return registry
+    Returns the unified name → factory map (heuristics plus the paper's
+    SCIP/SCI).  Kept as a thin shim so pre-registry callers keep working.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.perf.bench.bench_registry is deprecated; use "
+        "repro.cache.registry.make_policy / available_policies",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.cache.registry import policy_registry
+
+    return policy_registry()
 
 
 def _best_tps(
@@ -108,7 +114,8 @@ def run_engine_bench(
     Parameters
     ----------
     policies:
-        Policy names to replay (must exist in :func:`bench_registry`).
+        Policy names to replay (must exist in the unified
+        :mod:`repro.cache.registry`).
     workload, n_requests, fraction:
         Fixed-seed synthetic workload and cache size (fraction of its WSS).
     repeats:
@@ -123,7 +130,12 @@ def run_engine_bench(
     if quick:
         n_requests = min(n_requests, 30_000)
         repeats = 1
-    reg = dict(registry) if registry is not None else bench_registry()
+    if registry is not None:
+        reg = dict(registry)
+    else:
+        from repro.cache.registry import policy_registry
+
+        reg = policy_registry()
     unknown = [p for p in policies if p not in reg]
     if unknown:
         raise KeyError(f"unknown bench policies {unknown}; available: {sorted(reg)}")

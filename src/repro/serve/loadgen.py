@@ -177,14 +177,11 @@ async def serve_bench_async(
     seed: int = 0,
 ) -> dict:
     """Build service + workload, run the bench, return the result doc."""
+    from repro.cache.registry import resolve_policy
     from repro.obs.manifest import build_manifest
-    from repro.perf.bench import bench_registry
     from repro.traces.cdn import make_workload
 
-    registry = bench_registry()
-    if policy not in registry:
-        raise KeyError(f"unknown policy {policy!r}; available: {sorted(registry)}")
-    factory = registry[policy]
+    factory = resolve_policy(policy)
     trace = make_workload(workload, n_requests=n_requests)
     capacity = max(int(trace.working_set_size * fraction), n_shards)
     origin = SimulatedOrigin(

@@ -142,6 +142,54 @@ class CacheService:
             *(shard.request_swap(policy_factory) for shard in self.shards)
         )
 
+    # -- replication fill --------------------------------------------------
+    async def fill(self, req: Request) -> bool:
+        """Admit one object's metadata without serving a request.
+
+        The cluster layer's write-all replication hook: after a miss is
+        served at one node, the other replicas are *filled* so a later
+        failover read finds the object resident.  Runs on the owning
+        shard's worker task (control-plane message, never shed); returns
+        ``True`` if the object was admitted, ``False`` if it was already
+        resident or larger than the shard.  No hit/miss is recorded — a
+        fill is not traffic.
+        """
+        if not self._started:
+            raise RuntimeError("CacheService.fill before start() (use 'async with')")
+        return await self.shards[hash(req.key) % self._n].request_fill(req)
+
+    # -- health ------------------------------------------------------------
+    def health(self) -> dict:
+        """Cheap liveness/pressure snapshot (the cluster's node gauge feed).
+
+        Unlike :meth:`stats` this touches no policy internals, so it is
+        safe to poll from outside the event loop's request flow.
+        """
+        return {
+            "started": self._started,
+            "n_shards": self._n,
+            "queue_depths": [s.queue.qsize() for s in self.shards],
+            "shed": sum(s.shed_count for s in self.shards),
+            "unhandled_exceptions": self.unhandled_exceptions,
+        }
+
+    def resident_entries(self):
+        """Yield ``(key, size)`` for every resident object across shards.
+
+        Walks each shard's queue-structured policy synchronously (no await
+        points, so the single-threaded event loop cannot observe a policy
+        mid-decision).  Non-queue policies contribute nothing — warm
+        handoff is best-effort by design.  Used by the cluster
+        :class:`~repro.cluster.rebalance.Rebalancer` for warm handoffs.
+        """
+        from repro.cache.base import QueueCache
+
+        for shard in self.shards:
+            policy = shard.policy
+            if isinstance(policy, QueueCache):
+                for node in policy.queue.iter_lru():
+                    yield node.key, node.size
+
     # -- the request API ---------------------------------------------------
     def shard_for(self, key) -> CacheShard:
         return self.shards[hash(key) % self._n]

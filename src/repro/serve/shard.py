@@ -62,6 +62,23 @@ class _SwapControl:
         self.fut = fut
 
 
+class _FillControl:
+    """Control-plane queue item: admit one object's metadata without
+    serving a request (replication fill / warm handoff).
+
+    Rides the shard queue like :class:`_SwapControl` so the admission runs
+    on the worker task between complete cache decisions.  ``fut`` resolves
+    ``True`` if the object was admitted, ``False`` if it was already
+    resident (or too large to admit).
+    """
+
+    __slots__ = ("req", "fut")
+
+    def __init__(self, req: Request, fut: asyncio.Future):
+        self.req = req
+        self.fut = fut
+
+
 class CacheShard:
     """A key-shard of the service: one policy, one queue, one worker.
 
@@ -166,6 +183,19 @@ class CacheShard:
                 finally:
                     queue.task_done()
                 continue
+            if isinstance(item, _FillControl):
+                try:
+                    filled = self._fill(item.req)
+                except Exception:
+                    self.metrics.unhandled.inc()
+                    if not item.fut.done():
+                        item.fut.set_result(False)
+                else:
+                    if not item.fut.done():
+                        item.fut.set_result(filled)
+                finally:
+                    queue.task_done()
+                continue
             req, fut = item
             try:
                 self._serve(req, fut)
@@ -241,6 +271,34 @@ class CacheShard:
         """
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         await self.queue.put(_SwapControl(factory, fut))
+        return await fut
+
+    # -- replication fill (worker side) ------------------------------------
+    def _fill(self, req: Request) -> bool:
+        """Admit ``req``'s metadata without serving it — runs on the worker.
+
+        The replica-fill analogue of :meth:`_swap`'s resident-set
+        migration: the object enters through the policy's normal miss path
+        (:meth:`repro.cache.base.CachePolicy._miss` — insertion position,
+        evictions and capacity accounting all apply) but no hit/miss is
+        recorded, so a fill never pollutes the policy's served-traffic
+        statistics.
+        """
+        policy = self.policy
+        if req.size > policy.capacity or policy.contains(req.key):
+            return False
+        policy._miss(Request(policy.clock, req.key, req.size))
+        return True
+
+    async def request_fill(self, req: Request) -> bool:
+        """Ask the worker to admit ``req``'s object (replication fill).
+
+        Control-plane semantics like :meth:`request_swap`: blocks on a full
+        queue instead of shedding.  Resolves ``True`` if the object was
+        admitted, ``False`` if already resident or larger than the shard.
+        """
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self.queue.put(_FillControl(req, fut))
         return await fut
 
     def _chain(

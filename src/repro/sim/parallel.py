@@ -48,19 +48,14 @@ Cell = Tuple[str, dict, str, int, float]
 def _run_cell(cell: Cell) -> dict:
     # Imports inside the worker: keeps the module importable without
     # multiprocessing side effects and plays nicely with spawn start.
-    from repro.cache import POLICIES
-    from repro.core.sci import SCICache
-    from repro.core.scip import SCIPCache
+    from repro.cache.registry import make_policy
     from repro.sim.engine import simulate
     from repro.traces.cdn import make_workload
 
     policy_name, kwargs, workload, n_requests, fraction = cell
-    registry = dict(POLICIES)
-    registry["SCIP"] = SCIPCache
-    registry["SCI"] = SCICache
     trace = make_workload(workload, n_requests=n_requests)
     cap = max(int(trace.working_set_size * fraction), 1)
-    result = simulate(registry[policy_name](cap, **kwargs), trace)
+    result = simulate(make_policy(policy_name, cap, **kwargs), trace)
     row = result.as_dict()
     row["policy"] = policy_name
     row["cache_fraction"] = fraction

@@ -90,6 +90,31 @@ class HashRing:
             idx = 0
         return self._owner[self._ring[idx]]
 
+    def preference_list(self, key: int, n: int) -> List[str]:
+        """The first ``n`` *distinct* nodes clockwise from ``key``'s point.
+
+        This is the replica placement rule of every consistent-hash store
+        (Dynamo-style): entry 0 is the primary (identical to :meth:`route`),
+        entries 1..n-1 are the successor replicas.  When the ring holds
+        fewer than ``n`` nodes the list is simply shorter — callers degrade
+        to the replicas that exist.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        h = _hash64(str(key))
+        start = bisect.bisect_right(self._ring, h)
+        owners: List[str] = []
+        seen = set()
+        ring_len = len(self._ring)
+        for step in range(ring_len):
+            node = self._owner[self._ring[(start + step) % ring_len]]
+            if node not in seen:
+                seen.add(node)
+                owners.append(node)
+                if len(owners) == n:
+                    break
+        return owners
+
     def load_distribution(self, keys: Sequence[int]) -> Dict[str, int]:
         """Keys per node over a sample (balance diagnostics)."""
         out: Dict[str, int] = {n: 0 for n in self._nodes}

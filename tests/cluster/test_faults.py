@@ -1,0 +1,67 @@
+"""FaultPlan: validation, scheduling order, consumption, round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.faults import FAULT_KINDS, FaultAction, FaultPlan
+
+
+class TestFaultAction:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultAction(at=0, kind="explode", node="n0")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="offset"):
+            FaultAction(at=-1, kind="kill", node="n0")
+
+    def test_slow_needs_latency(self):
+        with pytest.raises(ValueError, match="extra_latency_s"):
+            FaultAction(at=0, kind="slow", node="n0")
+
+    def test_as_dict_carries_latency_only_for_slow(self):
+        kill = FaultAction(at=5, kind="kill", node="n0")
+        slow = FaultAction(at=5, kind="slow", node="n0", extra_latency_s=0.01)
+        assert "extra_latency_s" not in kill.as_dict()
+        assert slow.as_dict()["extra_latency_s"] == 0.01
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            extra = 0.001 if kind == "slow" else 0.0
+            FaultAction(at=0, kind=kind, node="n0", extra_latency_s=extra)
+
+
+class TestFaultPlan:
+    def test_due_pops_in_offset_order(self):
+        plan = FaultPlan().restart("n0", at=30).kill("n0", at=10)
+        assert [a.kind for a in plan] == ["kill", "restart"]
+        assert plan.next_at == 10
+        first = plan.due(10)
+        assert [a.kind for a in first] == ["kill"]
+        assert plan.due(20) == ()
+        assert [a.kind for a in plan.due(100)] == ["restart"]
+        assert plan.exhausted
+        assert plan.next_at is None
+
+    def test_multiple_actions_same_offset(self):
+        plan = FaultPlan().kill("n0", at=5).kill("n1", at=5)
+        assert len(plan.due(5)) == 2
+
+    def test_cannot_extend_consumed_plan(self):
+        plan = FaultPlan().kill("n0", at=0)
+        plan.due(0)
+        with pytest.raises(RuntimeError, match="partially consumed"):
+            plan.kill("n1", at=10)
+
+    def test_dict_round_trip(self):
+        plan = (
+            FaultPlan()
+            .kill("n1", at=100)
+            .restart("n1", at=200)
+            .slow("n2", at=50, extra_latency_s=0.002)
+            .recover("n2", at=80)
+        )
+        rebuilt = FaultPlan.from_dicts(plan.as_dicts())
+        assert rebuilt.as_dicts() == plan.as_dicts()
+        assert len(rebuilt) == 4

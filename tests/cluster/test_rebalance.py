@@ -1,0 +1,151 @@
+"""Rebalancer: bounded reshuffle, warm handoff, membership validation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterNode, Rebalancer, build_cluster
+from repro.obs.probe import Probe
+from repro.sim.request import Request
+
+
+class ListSink:
+    def __init__(self):
+        self.records = []
+
+    def write(self, rec):
+        self.records.append(rec)
+
+
+def _router(n_nodes=4, replication=1, probe=None):
+    config = ClusterConfig(
+        n_nodes=n_nodes,
+        replication=replication,
+        policy="LRU",
+        capacity_bytes=400_000,
+        retry_timeout=None,
+    )
+    return build_cluster(config, probe=probe)
+
+
+def _spare(router, node_id):
+    """A cold node reusing an existing node's service factory."""
+    return ClusterNode(node_id, router.nodes["n0"]._factory)
+
+
+class TestReshuffleBound:
+    def test_join_moves_about_one_nth(self):
+        async def run():
+            router = _router(n_nodes=4)
+            async with router:
+                reb = Rebalancer(router)
+                snap = reb.snapshot_owners(range(4_000))
+                await reb.add_node(_spare(router, "n4"))
+                return reb.moved_fraction(snap)
+
+        moved = asyncio.run(run())
+        # Joining the 5th node should move ~1/5 of the keyspace; allow
+        # generous slack for vnode placement variance, but pin the bound
+        # that distinguishes consistent hashing from modulo routing.
+        assert 0.10 < moved < 0.35
+
+    def test_replace_moves_about_two_nths(self):
+        async def run():
+            router = _router(n_nodes=4)
+            async with router:
+                reb = Rebalancer(router)
+                snap = reb.snapshot_owners(range(4_000))
+                await reb.replace_node("n2", _spare(router, "n9"))
+                return reb.moved_fraction(snap), router.live_nodes()
+
+        moved, live = asyncio.run(run())
+        assert 0.15 < moved < 0.60
+        assert "n2" not in live and "n9" in live
+
+
+class TestWarmHandoff:
+    def test_drain_hands_residents_to_new_owners(self):
+        async def run():
+            sink = ListSink()
+            router = _router(n_nodes=3, probe=Probe([sink]))
+            async with router:
+                for i in range(300):
+                    await router.get(Request(i, i, 1000))
+                reb = Rebalancer(router)
+                victim = "n1"
+                resident = list(router.nodes[victim].service.resident_entries())
+                doc = await reb.remove_node(victim, warm=True)
+                # Handed-off keys are now resident at their new owners:
+                # re-requesting them must hit without refetching.
+                hits = 0
+                for key, size in resident:
+                    out = await router.get(Request(0, key, size))
+                    hits += out.hit
+                return sink, doc, len(resident), hits
+
+        sink, doc, n_resident, hits = asyncio.run(run())
+        assert n_resident > 0
+        assert doc["moved_entries"] == n_resident
+        assert hits == n_resident
+        reb_events = [r for r in sink.records if r["event"] == "rebalance"]
+        assert reb_events and reb_events[0]["action"] == "remove"
+
+    def test_join_warms_from_survivors(self):
+        async def run():
+            router = _router(n_nodes=3, replication=1)
+            async with router:
+                for i in range(400):
+                    await router.get(Request(i, i, 1000))
+                reb = Rebalancer(router)
+                doc = await reb.add_node(_spare(router, "n5"), warm=True)
+                joined = list(router.nodes["n5"].service.resident_entries())
+                return doc, joined, router
+
+        doc, joined, router = asyncio.run(run())
+        assert doc["moved_entries"] == len(joined) > 0
+        # Everything copied in belongs to the joiner under the new ring.
+        assert all("n5" in router.owners_for(k) for k, _ in joined)
+
+    def test_cold_join_moves_nothing(self):
+        async def run():
+            router = _router(n_nodes=3)
+            async with router:
+                for i in range(200):
+                    await router.get(Request(i, i, 1000))
+                reb = Rebalancer(router)
+                doc = await reb.add_node(_spare(router, "n5"), warm=False)
+                return doc, list(router.nodes["n5"].service.resident_entries())
+
+        doc, joined = asyncio.run(run())
+        assert doc["moved_entries"] == 0 and joined == []
+
+
+class TestMembershipValidation:
+    def test_duplicate_join_rejected(self):
+        async def run():
+            router = _router(n_nodes=2)
+            async with router:
+                await Rebalancer(router).add_node(_spare(router, "n0"))
+
+        with pytest.raises(ValueError, match="duplicate"):
+            asyncio.run(run())
+
+    def test_unknown_drain_rejected(self):
+        async def run():
+            router = _router(n_nodes=2)
+            async with router:
+                await Rebalancer(router).remove_node("nope")
+
+        with pytest.raises(KeyError, match="unknown node"):
+            asyncio.run(run())
+
+    def test_cannot_drain_last_node(self):
+        async def run():
+            router = _router(n_nodes=1, replication=1)
+            async with router:
+                await Rebalancer(router).remove_node("n0")
+
+        with pytest.raises(ValueError, match="last node"):
+            asyncio.run(run())

@@ -6,20 +6,20 @@ import json
 
 import pytest
 
+from repro.cache.registry import available_policies
 from repro.perf.bench import (
     BENCH_SCHEMA,
     DEFAULT_BENCH_POLICIES,
-    bench_registry,
     format_bench,
     run_engine_bench,
 )
 
 
 def test_registry_covers_the_default_policy_set():
-    reg = bench_registry()
+    names = available_policies()
     for name in DEFAULT_BENCH_POLICIES:
-        assert name in reg
-    assert "SCI" in reg  # the paper's insertion-only variant is benchable too
+        assert name in names
+    assert "SCI" in names  # the paper's insertion-only variant is benchable too
 
 
 def test_engine_bench_writes_a_versioned_document(tmp_path):

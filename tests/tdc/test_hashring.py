@@ -95,3 +95,43 @@ class TestHashRing:
         served = sum(n.policy.stats.requests for n in cluster.oc)
         assert served == 3_000
         assert all(n.policy.stats.requests > 0 for n in cluster.oc)
+
+
+class TestPreferenceList:
+    def test_primary_matches_route(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        for key in range(500):
+            assert ring.preference_list(key, 2)[0] == ring.route(key)
+
+    def test_distinct_owners(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        for key in range(500):
+            owners = ring.preference_list(key, 3)
+            assert len(owners) == len(set(owners)) == 3
+
+    def test_deterministic(self):
+        ring = HashRing(["a", "b", "c"])
+        assert all(
+            ring.preference_list(k, 2) == ring.preference_list(k, 2)
+            for k in range(200)
+        )
+
+    def test_shorter_when_ring_small(self):
+        ring = HashRing(["a", "b"])
+        owners = ring.preference_list(7, 5)
+        assert sorted(owners) == ["a", "b"]
+
+    def test_n_must_be_positive(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.preference_list(1, 0)
+
+    def test_replica_stable_under_unrelated_removal(self):
+        # Dynamo property: removing a node not on a key's preference list
+        # leaves that key's owners untouched.
+        ring = HashRing(["a", "b", "c", "d", "e"], vnodes=64)
+        before = {k: ring.preference_list(k, 2) for k in range(2_000)}
+        ring.remove_node("e")
+        for k, owners in before.items():
+            if "e" not in owners:
+                assert ring.preference_list(k, 2) == owners
