@@ -13,6 +13,15 @@ The facade spans the five subsystems grown around the paper reproduction:
 * **simulation** — :func:`simulate` over :class:`Request`/:class:`Trace`,
   plus the workload builders :func:`make_workload` (stationary Table-1
   profiles) and :func:`make_drift_trace` (nonstationary families);
+* **paper-scale traces** — the binary trace format
+  (:func:`write_bin` / :func:`read_bin` / :class:`BinTraceReader` /
+  :class:`BinTraceWriter`, errors as :class:`TraceFormatError`), the
+  constant-memory generators (:func:`stream_to_bin`,
+  :func:`workload_to_bin`), and the array-backed replay engine
+  (:func:`simulate_batch`, :func:`batch_replay`,
+  :func:`batch_supported`, :func:`mrc_sweep`) that streams ``.bin``
+  files chunk-at-a-time, bit-exact with :func:`simulate` on the
+  batch-capable policies;
 * **serving** — :class:`CacheService`, the concurrent asyncio cache with
   sharded single-owner policies, and its :class:`SimulatedOrigin` /
   :class:`OriginConfig` / :class:`RetryPolicy` knobs;
@@ -51,10 +60,25 @@ from repro.obs.probe import Probe
 from repro.orchestrate.controller import ControllerConfig, Orchestrator
 from repro.serve.origin import OriginConfig, RetryPolicy, SimulatedOrigin
 from repro.serve.service import CacheService
+from repro.sim.batch import (
+    batch_replay,
+    batch_supported,
+    simulate_batch,
+)
 from repro.sim.engine import simulate
+from repro.sim.parallel import mrc_sweep
 from repro.sim.request import Request, Trace
-from repro.traces.cdn import make_workload
+from repro.traces.binfmt import (
+    BinTraceReader,
+    BinTraceWriter,
+    TraceFormatError,
+    is_bin_trace,
+    read_bin,
+    write_bin,
+)
+from repro.traces.cdn import make_workload, workload_to_bin
 from repro.traces.drift import make_drift_trace
+from repro.traces.streaming import StreamSpec, make_stream_spec, stream_to_bin
 
 __all__ = [
     # policies
@@ -68,6 +92,22 @@ __all__ = [
     "Trace",
     "make_workload",
     "make_drift_trace",
+    # paper-scale traces: binary format + streaming generators
+    "write_bin",
+    "read_bin",
+    "is_bin_trace",
+    "BinTraceReader",
+    "BinTraceWriter",
+    "TraceFormatError",
+    "workload_to_bin",
+    "stream_to_bin",
+    "make_stream_spec",
+    "StreamSpec",
+    # paper-scale traces: array-backed batch replay
+    "simulate_batch",
+    "batch_replay",
+    "batch_supported",
+    "mrc_sweep",
     # serving
     "CacheService",
     "SimulatedOrigin",

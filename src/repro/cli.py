@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Nine subcommands mirror the library's workflow::
+Ten subcommands mirror the library's workflow::
 
     python -m repro simulate    --policy SCIP --workload CDN-T --fraction 0.02 \\
+                                [--trace-file big.bin --batch] \\
                                 [--trace-out events.jsonl --obs-summary]
     python -m repro experiment  fig8 [--scale bench]
     python -m repro workload    --name CDN-W -n 50000 -o cdnw.tr [--analyze]
+    python -m repro trace       gen|convert|info ... (binary trace files)
     python -m repro report      [--scale bench] -o EXPERIMENTS.md
     python -m repro bench       [--quick] [-o BENCH_engine.json]
     python -m repro serve-bench [--quick] [--shards 4] [-o BENCH_serve.json]
@@ -17,8 +19,11 @@ Nine subcommands mirror the library's workflow::
 
 `simulate` replays one policy on one workload (optionally recording a
 schema-versioned JSONL event stream, registry snapshots, and a run
-manifest); `experiment` prints a paper table; `workload`
-generates/analyses/saves traces; `report` regenerates the full
+manifest), and with ``--batch`` streams ``.bin`` traces through the
+array-backed batch engine at paper scale; `experiment` prints a paper
+table; `workload` generates/analyses/saves traces; `trace` generates,
+converts (text<->binary, streaming both ways), and inspects binary trace
+files; `report` regenerates the full
 paper-vs-measured document; `bench` measures engine replay throughput
 (legacy vs fast path) and persists the perf trajectory; `serve-bench`
 runs the concurrent asyncio cache service plus its closed-loop load
@@ -48,6 +53,7 @@ __all__ = ["main"]
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.cache.registry import resolve_policy
     from repro.sim.engine import simulate
+    from repro.traces.binfmt import BinTraceReader, TraceFormatError, is_bin_trace, read_bin
     from repro.traces.cdn import make_workload
     from repro.traces.io import read_lrb
 
@@ -56,11 +62,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(str(exc).strip('"\''))
         return 2
+
+    if args.batch:
+        return _simulate_batch(args)
+
     if args.trace_file:
-        trace = read_lrb(args.trace_file)
+        try:
+            if is_bin_trace(args.trace_file):
+                trace = read_bin(args.trace_file)
+            else:
+                trace = read_lrb(args.trace_file)
+        except (TraceFormatError, ValueError, OSError) as exc:
+            print(f"cannot read trace: {exc}")
+            return 2
     else:
         trace = make_workload(args.workload, n_requests=args.requests)
-    cap = max(int(trace.working_set_size * args.fraction), 1)
+    if args.cache_bytes:
+        cap = args.cache_bytes
+    elif args.trace_file and is_bin_trace(args.trace_file):
+        # Plan capacity from the header's working-set estimate so the same
+        # file + fraction gives the same cache with and without --batch.
+        with BinTraceReader(args.trace_file) as reader:
+            cap = max(int(reader.wss_estimate * args.fraction), 1)
+    else:
+        cap = max(int(trace.working_set_size * args.fraction), 1)
 
     if args.snapshot_every < 0:
         print(f"--snapshot-every must be >= 0, got {args.snapshot_every}")
@@ -97,6 +122,143 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"wrote {obs.manifest_out}")
         if args.obs_summary:
             print(_format_registry(res.obs["registry"]))
+    return 0
+
+
+def _simulate_batch(args: argparse.Namespace) -> int:
+    """``simulate --batch``: stream the trace through an array-backed core.
+
+    Binary trace files never materialise in memory — capacity defaults to
+    ``fraction`` of the header's working-set estimate so a paper-scale
+    file needs no preparatory full scan.
+    """
+    from repro.sim.batch import batch_supported, simulate_batch
+    from repro.traces.binfmt import BinTraceReader, TraceFormatError, is_bin_trace
+    from repro.traces.cdn import make_workload
+
+    if not batch_supported(args.policy):
+        from repro.sim.batch import BATCH_POLICIES
+
+        print(
+            f"policy {args.policy!r} has no batch core; "
+            f"batch-capable: {sorted(BATCH_POLICIES)} (drop --batch for the rich engine)"
+        )
+        return 2
+    if args.trace_out or args.obs_summary or args.snapshot_every or args.manifest_out:
+        print("--batch replays arrays, not events; observability flags need the rich engine")
+        return 2
+
+    reader = None
+    try:
+        if args.trace_file:
+            if not is_bin_trace(args.trace_file):
+                print(
+                    f"{args.trace_file} is not a binary trace; convert it first "
+                    "(repro trace convert) or drop --batch"
+                )
+                return 2
+            try:
+                reader = BinTraceReader(args.trace_file)
+            except (TraceFormatError, OSError) as exc:
+                print(f"cannot read trace: {exc}")
+                return 2
+            source = reader
+            wss = reader.wss_estimate
+        else:
+            source = make_workload(args.workload, n_requests=args.requests)
+            wss = source.working_set_size
+        cap = args.cache_bytes or max(int(wss * args.fraction), 1)
+        res = simulate_batch(args.policy, source, cap, warmup=args.warmup)
+    finally:
+        if reader is not None:
+            reader.close()
+    print(
+        f"{res.policy} on {res.trace} [batch]: miss_ratio={res.miss_ratio:.4f} "
+        f"byte_miss_ratio={res.byte_miss_ratio:.4f} tps={res.tps:,.0f} "
+        f"cache={cap / 1e9:.3f} GB"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.traces.binfmt import TraceFormatError
+
+    try:
+        return args.trace_func(args)
+    except TraceFormatError as exc:
+        print(f"invalid trace: {exc}")
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(str(exc).strip('"\''))
+        return 2
+    except OSError as exc:
+        print(f"I/O error: {exc}")
+        return 2
+
+
+def _format_header(h: dict) -> str:
+    count = h.get("count", h.get("total_requests", 0))
+    msize = h.get("max_size", h.get("max_object_size", 0))
+    return (
+        f"{count:,} requests, ~{h['unique_estimate']:,} objects, "
+        f"WSS ~{h['wss_estimate'] / 1e9:.2f} GB, "
+        f"{h['total_bytes'] / 1e9:.2f} GB requested, max object {msize:,} B"
+    )
+
+
+def _cmd_trace_gen(args: argparse.Namespace) -> int:
+    if args.requests < 1:
+        print(f"-n/--requests must be >= 1, got {args.requests}")
+        return 2
+    if args.stream:
+        from repro.traces.streaming import make_stream_spec, stream_to_bin
+
+        spec = make_stream_spec(args.workload, args.requests, seed=args.seed)
+        header = stream_to_bin(spec, args.output)
+    else:
+        from repro.traces.cdn import workload_to_bin
+
+        header = workload_to_bin(args.workload, args.requests, args.output, seed=args.seed)
+    mode = "stream" if args.stream else "classic"
+    print(f"wrote {args.output} ({args.workload} {mode}): {_format_header(header)}")
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from repro.traces.binfmt import is_bin_trace
+    from repro.traces.io import bin_to_text, text_to_bin
+
+    if is_bin_trace(args.src):
+        n = bin_to_text(args.src, args.dst, fmt=args.format)
+        print(f"wrote {args.dst}: {n:,} requests (text)")
+    else:
+        header = text_to_bin(args.src, args.dst, fmt=args.format)
+        print(f"wrote {args.dst} (binary): {_format_header(header)}")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.traces.binfmt import BinTraceReader
+
+    with BinTraceReader(args.path) as reader:
+        summary = reader.summary()
+        for field in (
+            "name",
+            "path",
+            "version",
+            "total_requests",
+            "key_min",
+            "key_max",
+            "total_bytes",
+            "max_object_size",
+            "unique_estimate",
+            "wss_estimate",
+            "checksum",
+        ):
+            print(f"{field:<16} {summary[field]}")
+        if args.verify:
+            reader.verify()
+            print("checksum         OK (payload verified)")
     return 0
 
 
@@ -369,9 +531,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="replay one policy on one workload")
     p.add_argument("--policy", default="SCIP")
     p.add_argument("--workload", default="CDN-T", choices=["CDN-T", "CDN-W", "CDN-A"])
-    p.add_argument("--trace-file", help="LRB-format trace file instead of synthetic")
+    p.add_argument(
+        "--trace-file",
+        help="trace file instead of synthetic (LRB text or .bin, sniffed by magic)",
+    )
     p.add_argument("-n", "--requests", type=int, default=100_000)
     p.add_argument("--fraction", type=float, default=0.02, help="cache size as WSS fraction")
+    p.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=0,
+        help="absolute capacity in bytes (overrides --fraction)",
+    )
+    p.add_argument(
+        "--batch",
+        action="store_true",
+        help="stream through the array-backed batch engine (LRU/FIFO/CLOCK/SIEVE); "
+        ".bin traces replay without materialising in memory",
+    )
     p.add_argument("--warmup", type=int, default=0)
     p.add_argument(
         "--trace-out",
@@ -406,6 +583,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write LRB-format trace here")
     p.add_argument("--analyze", action="store_true", help="run the Figure 1 analysis")
     p.set_defaults(func=_cmd_workload)
+
+    p = sub.add_parser(
+        "trace", help="binary trace files: generate, convert, inspect"
+    )
+    p.set_defaults(func=_cmd_trace)
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    t = tsub.add_parser("gen", help="generate a workload straight into a .bin file")
+    t.add_argument("--workload", default="CDN-T", choices=["CDN-T", "CDN-W", "CDN-A"])
+    t.add_argument("-n", "--requests", type=int, default=1_000_000)
+    t.add_argument("-o", "--output", required=True, help="output .bin path")
+    t.add_argument("--seed", type=int, default=None)
+    t.add_argument(
+        "--stream",
+        action="store_true",
+        help="constant-memory streaming generator (paper-scale; different trace "
+        "family from the classic in-memory generator)",
+    )
+    t.set_defaults(trace_func=_cmd_trace_gen)
+
+    t = tsub.add_parser(
+        "convert", help="text (LRB/CSV) -> .bin or .bin -> text, streaming both ways"
+    )
+    t.add_argument("src", help="source trace (direction sniffed from its magic)")
+    t.add_argument("dst", help="destination path")
+    t.add_argument(
+        "--format",
+        choices=["lrb", "csv"],
+        default=None,
+        help="text side's format (default: sniffed from the text file's suffix)",
+    )
+    t.set_defaults(trace_func=_cmd_trace_convert)
+
+    t = tsub.add_parser("info", help="print a .bin trace's header summary")
+    t.add_argument("path")
+    t.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-read the payload and check it against the header checksum",
+    )
+    t.set_defaults(trace_func=_cmd_trace_info)
 
     p = sub.add_parser("bench", help="engine replay micro-benchmark (legacy vs fast path)")
     p.add_argument("--policies", default="LRU,ARC,SCIP", help="comma-separated policy names")

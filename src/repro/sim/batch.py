@@ -1,0 +1,1048 @@
+"""Array-backed batch replay — the paper-scale fast path.
+
+The rich engine replays Python ``Request`` objects through linked-list
+policies at ~2 M req/s; the paper's traces are 78–100 M requests.  This
+module replays **structure-of-arrays chunks** (the shape
+:meth:`repro.traces.binfmt.BinTraceReader.iter_chunks` yields) through
+vectorised re-implementations of the stateless-hot policies — LRU, FIFO,
+CLOCK, SIEVE — with **bit-exact** decisions: the equivalence harness in
+``tests/sim/test_batch_equivalence.py`` pins every hit/miss and the final
+resident set against the rich engine.
+
+How the LRU/FIFO fast path works (the *slot model*)
+---------------------------------------------------
+Assign request ``i`` of the run the global **slot id** ``t0 + i``.  Under
+byte-LRU with consistent per-key sizes, every hit or admitted miss moves
+its key to its request's slot, and the resident set is always the maximal
+*suffix* of slots whose cumulative bytes fit the capacity.  Hence a single
+**boundary** ``B`` — the highest evicted slot — fully describes the cache:
+
+* a request **hits** iff its key's current slot is ``> B``;
+* ``B`` is monotonically nondecreasing (eviction order = slot order).
+
+That makes the replay loop trivial: per chunk we precompute each
+request's previous slot (one ``argsort`` over keys for within-chunk
+chains, a vectorised hash-map probe for cross-chunk first occurrences),
+then scan requests in order — a hit is a single integer comparison
+(``previous slot > B``), and only misses do real work (advance ``B`` over
+the slot array, counting an eviction per live slot consumed, a total
+bounded by the slots created).  No per-request allocation, no linked
+lists, no hashing in the loop.
+
+FIFO differs only in that hits do not move slots; a small per-chunk
+re-admission table lazily re-validates popped candidates.  CLOCK and
+SIEVE have data-dependent hand movement, so they run scalar cores over
+flat int arrays (no ``Node`` allocation, freelist recycling) — exact, and
+still allocation-free per request.
+
+Traces whose keys change size between requests (the rich engine's
+size-update semantics) are detected per chunk and **spill**: the batch
+state is migrated — in recency order — into the real registry policy,
+which finishes the replay with reference semantics.  Memory stays bounded
+at any trace length: slot arrays are compacted (live slots renumbered,
+key map rebuilt from live slots only) as the boundary advances.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cache.base import CacheStats
+from repro.cache.queue import Node
+from repro.sim.engine import SimResult
+from repro.sim.metrics import MetricsCollector
+from repro.sim.request import Trace, requests_from_arrays
+from repro.traces.binfmt import BinTraceReader, _splitmix64
+
+__all__ = [
+    "Int64Map",
+    "BatchLRU",
+    "BatchFIFO",
+    "BatchClock",
+    "BatchSieve",
+    "BATCH_POLICIES",
+    "batch_supported",
+    "make_batch_policy",
+    "batch_replay",
+    "iter_source_chunks",
+    "simulate_batch",
+]
+
+_INF = 1 << 62
+_U64 = np.uint64
+
+Chunk = Tuple[np.ndarray, np.ndarray, np.ndarray]
+ChunkSource = Union[str, Path, BinTraceReader, Trace, Iterable[Chunk]]
+
+
+# ---------------------------------------------------------------------------
+# Vectorised int64 -> int64 open-addressing hash map
+# ---------------------------------------------------------------------------
+class Int64Map:
+    """Flat open-addressing hash map with vectorised bulk probes.
+
+    Linear probing over power-of-two tables, splitmix64 hashing; both
+    :meth:`get_many` and :meth:`put_many` resolve whole key arrays in a
+    handful of numpy rounds (each round settles every probe that didn't
+    collide).  ``put_many`` requires the keys *within one call* to be
+    unique — the batch engine always inserts per-key aggregates.
+    """
+
+    def __init__(self, capacity: int = 1 << 12):
+        cap = 8
+        while cap < max(capacity, 8) * 2:
+            cap <<= 1
+        self._cap = cap
+        self._keys = np.zeros(cap, np.int64)
+        self._vals = np.zeros(cap, np.int64)
+        self._full = np.zeros(cap, bool)
+        self.count = 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _slots(self, keys: np.ndarray) -> np.ndarray:
+        h = _splitmix64(keys.view(_U64)) & _U64(self._cap - 1)
+        return h.astype(np.int64)
+
+    def get_many(self, keys) -> np.ndarray:
+        """Values for ``keys`` (-1 where absent)."""
+        keys = np.ascontiguousarray(keys, np.int64)
+        out = np.full(len(keys), -1, np.int64)
+        if len(keys) == 0 or self.count == 0:
+            return out
+        idx = self._slots(keys)
+        pending = np.arange(len(keys))
+        mask = self._cap - 1
+        while pending.size:
+            sl = idx[pending]
+            occ = self._full[sl]
+            match = occ.copy()
+            if match.any():
+                match[occ] = self._keys[sl[occ]] == keys[pending[occ]]
+                out[pending[match]] = self._vals[sl[match]]
+            cont = occ & ~match
+            pending = pending[cont]
+            idx[pending] = (idx[pending] + 1) & mask
+        return out
+
+    def put_many(self, keys, vals) -> None:
+        """Insert/update ``keys`` (unique within the call) -> ``vals``."""
+        keys = np.ascontiguousarray(keys, np.int64)
+        vals = np.ascontiguousarray(vals, np.int64)
+        n = len(keys)
+        if n == 0:
+            return
+        if (self.count + n) * 5 >= self._cap * 3:  # keep load < 0.6
+            self._grow(self.count + n)
+        idx = self._slots(keys)
+        pending = np.arange(n)
+        mask = self._cap - 1
+        while pending.size:
+            sl = idx[pending]
+            occ = self._full[sl]
+            match = occ.copy()
+            if match.any():
+                match[occ] = self._keys[sl[occ]] == keys[pending[occ]]
+                self._vals[sl[match]] = vals[pending[match]]
+            losers = pending[:0]
+            emp = ~occ
+            if emp.any():
+                cand = pending[emp]
+                csl = sl[emp]
+                # Several pending keys may race for one empty slot; a
+                # reversed scatter makes the *first* candidate's write land
+                # last (duplicate-index assignment keeps the final write),
+                # then a gather identifies the winners — no sort needed.
+                self._keys[csl[::-1]] = keys[cand[::-1]]
+                self._vals[csl[::-1]] = vals[cand[::-1]]
+                won = self._keys[csl] == keys[cand]
+                self._full[csl] = True
+                self.count += int(np.count_nonzero(won))
+                losers = cand[~won]
+            adv = pending[occ & ~match]
+            idx[adv] = (idx[adv] + 1) & mask
+            pending = np.concatenate((adv, losers)) if losers.size else adv
+
+    def exchange_many(self, keys, vals) -> np.ndarray:
+        """Fused probe-and-update: write ``keys -> vals``, return the prior
+        values (-1 where absent).  One table traversal instead of a
+        ``get_many`` + ``put_many`` pair over the same keys."""
+        keys = np.ascontiguousarray(keys, np.int64)
+        vals = np.ascontiguousarray(vals, np.int64)
+        n = len(keys)
+        out = np.full(n, -1, np.int64)
+        if n == 0:
+            return out
+        if (self.count + n) * 5 >= self._cap * 3:  # keep load < 0.6
+            self._grow(self.count + n)
+        idx = self._slots(keys)
+        pending = np.arange(n)
+        mask = self._cap - 1
+        while pending.size:
+            sl = idx[pending]
+            occ = self._full[sl]
+            match = occ.copy()
+            if match.any():
+                match[occ] = self._keys[sl[occ]] == keys[pending[occ]]
+                hit = pending[match]
+                out[hit] = self._vals[sl[match]]
+                self._vals[sl[match]] = vals[hit]
+            losers = pending[:0]
+            emp = ~occ
+            if emp.any():
+                cand = pending[emp]
+                csl = sl[emp]
+                self._keys[csl[::-1]] = keys[cand[::-1]]
+                self._vals[csl[::-1]] = vals[cand[::-1]]
+                won = self._keys[csl] == keys[cand]
+                self._full[csl] = True
+                self.count += int(np.count_nonzero(won))
+                losers = cand[~won]
+            adv = pending[occ & ~match]
+            idx[adv] = (idx[adv] + 1) & mask
+            pending = np.concatenate((adv, losers)) if losers.size else adv
+        return out
+
+    def _grow(self, need: int) -> None:
+        old_keys = self._keys[self._full].copy()
+        old_vals = self._vals[self._full].copy()
+        cap = self._cap
+        while need * 5 >= cap * 3:
+            cap <<= 1
+        self._cap = cap
+        self._keys = np.zeros(cap, np.int64)
+        self._vals = np.zeros(cap, np.int64)
+        self._full = np.zeros(cap, bool)
+        self.count = 0
+        self.put_many(old_keys, old_vals)
+
+    # scalar conveniences (tests / diagnostics)
+    def get(self, key: int, default: int = -1) -> int:
+        v = int(self.get_many(np.asarray([key]))[0])
+        return default if v == -1 else v
+
+    def put(self, key: int, val: int) -> None:
+        self.put_many(np.asarray([key]), np.asarray([val]))
+
+
+# ---------------------------------------------------------------------------
+# LRU / FIFO: slot-model vectorised cores
+# ---------------------------------------------------------------------------
+_REP_HASH_BITS = 21
+_REP_FULLSORT_NUM = 3  # fall back to the full sort when repeats > 3/4
+
+
+def _group_occurrences(keys, sizes, nb, promote):
+    """Group a chunk's requests by key, preserving request order.
+
+    Returns ``(fidx, lidx, pred, succ, gassign)``:
+
+    * ``fidx`` / ``lidx`` — request index of each distinct key's first /
+      last occurrence (one entry per distinct key, unordered);
+    * ``pred`` / ``succ`` — within-chunk chain edges: ``succ[j]`` is a
+      repeat occurrence and ``pred[j]`` the same key's immediately
+      preceding occurrence (non-bypassed keys only);
+    * ``gassign`` — per-request index into ``fidx`` of the request's key
+      (built only when ``promote`` is false; the LRU path never needs it);
+
+    or ``None`` when a key changes size within the chunk (spill signal).
+
+    The stable argsort dominates chunk preprocessing, so keys that
+    provably occur once are pre-filtered with a hashed occupancy count
+    and skip the sort: a key whose hash bucket holds a single occurrence
+    cannot repeat.  Collisions only add stray singletons to the sorted
+    subset — never a correctness hazard — and chunks that are mostly
+    repeats fall back to the plain full sort.
+    """
+    m = len(keys)
+    hb = (
+        (keys.view(_U64) * _U64(0x9E3779B97F4A7C15))
+        >> _U64(64 - _REP_HASH_BITS)
+    ).astype(np.intp)
+    counts = np.bincount(hb, minlength=1 << _REP_HASH_BITS)
+    rep = counts[hb] >= 2
+    nrep = int(np.count_nonzero(rep))
+    if nrep * 4 >= m * _REP_FULLSORT_NUM:
+        singles = None
+        order = np.argsort(keys, kind="stable")
+    else:
+        sub = np.flatnonzero(rep)
+        singles = np.flatnonzero(~rep)
+        order = sub[np.argsort(keys[sub], kind="stable")]
+    ns = len(order)
+    ks = keys[order]
+    same = np.zeros(ns, bool)
+    if ns > 1:
+        same[1:] = ks[1:] == ks[:-1]
+    cp = np.flatnonzero(same)
+    if cp.size:
+        szs = sizes[order]
+        if not bool((szs[cp] == szs[cp - 1]).all()):
+            return None
+    gfirst = order[np.flatnonzero(~same)]
+    last_pos = np.ones(ns, bool)
+    if ns > 1:
+        last_pos[:-1] = ~same[1:]
+    glast = order[last_pos]
+    chsel = cp[nb[order[cp]]]  # bypass status is per-key uniform
+    pred = order[chsel - 1]
+    succ = order[chsel]
+    if singles is None:
+        fidx, lidx = gfirst, glast
+    else:
+        fidx = np.concatenate((singles, gfirst))
+        lidx = np.concatenate((singles, glast))
+    gassign = None
+    if not promote:
+        gassign = np.empty(m, np.intp)
+        if singles is None:
+            gassign[order] = np.cumsum(~same) - 1
+        else:
+            nsing = len(singles)
+            gassign[singles] = np.arange(nsing)
+            gassign[order] = np.cumsum(~same) - 1 + nsing
+    return fidx, lidx, pred, succ, gassign
+
+
+class _BatchQueueCore:
+    """Shared slot-model machinery for the LRU and FIFO batch paths."""
+
+    name = "abstract"
+    #: Whether hits move the key to the request's slot (LRU) or not (FIFO).
+    _promote = True
+    #: Registry policy class used when inconsistent sizes force a spill.
+    _policy_cls = None
+
+    #: Compact when this many dead slots accumulate in the window.
+    _COMPACT_SLACK = 1 << 18
+
+    def __init__(self, capacity: int):
+        capacity = int(capacity)
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self.clock = 0
+        self.used = 0
+        self.resident = 0
+        self.B = -1  # highest evicted slot; residents live strictly above
+        self.base = 0  # absolute slot id of slot-array element 0
+        self.next_slot = 0
+        n0 = 1 << 12
+        self.slot_key = np.zeros(n0, np.int64)
+        self.slot_size = np.zeros(n0, np.int64)
+        self.slot_next = np.full(n0, _INF, np.int64)
+        self.map = Int64Map()
+        self._policy = None  # set once a spill migrates state
+
+    # -- capacity management ------------------------------------------------
+    def _ensure(self, length: int) -> None:
+        cap = len(self.slot_key)
+        if length <= cap:
+            return
+        new = max(cap * 2, length)
+        for attr, fill in (("slot_key", 0), ("slot_size", 0), ("slot_next", _INF)):
+            old = getattr(self, attr)
+            arr = np.full(new, fill, np.int64)
+            arr[: len(old)] = old
+            setattr(self, attr, arr)
+
+    def _live_rel(self) -> np.ndarray:
+        """Array indices (relative to ``base``) of live slots, ascending =
+        eviction order (oldest first)."""
+        lo = max(self.B + 1 - self.base, 0)
+        hi = self.next_slot - self.base
+        sz = self.slot_size[lo:hi]
+        live = sz > 0
+        if self._promote:
+            live &= self.slot_next[lo:hi] >= self.next_slot
+        return np.flatnonzero(live) + lo
+
+    def _compact(self) -> None:
+        """Renumber live slots to a fresh id range and rebuild the key map
+        from live slots **only** (purging stale entries), keeping memory
+        proportional to residents + one chunk at any trace length."""
+        rel = self._live_rel()
+        nlive = len(rel)
+        assert nlive == self.resident, (nlive, self.resident)
+        base2 = self.next_slot  # fresh ids stay globally monotone
+        self._ensure(nlive)
+        self.slot_key[:nlive] = self.slot_key[rel]
+        self.slot_size[:nlive] = self.slot_size[rel]
+        self.slot_next[:nlive] = _INF
+        self.base = base2
+        self.B = base2 - 1
+        self.next_slot = base2 + nlive
+        self.map = Int64Map(max(nlive * 2, 1 << 12))
+        self.map.put_many(
+            self.slot_key[:nlive], base2 + np.arange(nlive, dtype=np.int64)
+        )
+
+    # -- spill: inconsistent per-key sizes -> reference policy ---------------
+    def _spill(self) -> None:
+        policy = self._policy_cls(self.capacity)
+        rel = self._live_rel()
+        # Ascending slot order is oldest-first; push_mru each in turn to
+        # rebuild the exact recency/insertion order.
+        for k, s in zip(self.slot_key[rel].tolist(), self.slot_size[rel].tolist()):
+            node = Node(k, s)
+            policy.queue.push_mru(node)
+            policy.index[k] = node
+        policy.used = self.used
+        policy.stats = self.stats  # shared object: counters stay unified
+        policy.clock = self.clock
+        self._policy = policy
+        self.slot_key = self.slot_size = self.slot_next = None  # type: ignore[assignment]
+        self.map = None  # type: ignore[assignment]
+
+    def _replay_policy(self, times, keys, sizes, out) -> None:
+        reqs = requests_from_arrays(keys, sizes, times)
+        self._policy.replay(reqs, out)
+        self.clock = self._policy.clock
+        self.used = self._policy.used
+        self.resident = len(self._policy)
+
+    # -- main entry ----------------------------------------------------------
+    def process_chunk(self, times, keys, sizes, out: Optional[list] = None) -> None:
+        """Replay one structure-of-arrays chunk.
+
+        ``out``, when given, receives one boolean per request (hit=True) —
+        the same decision stream :meth:`CachePolicy.replay` produces.
+        """
+        keys = np.ascontiguousarray(keys, np.int64)
+        sizes = np.ascontiguousarray(sizes, np.int64)
+        m = len(keys)
+        if len(sizes) != m:
+            raise ValueError(f"keys/sizes length mismatch: {m} vs {len(sizes)}")
+        if m == 0:
+            return
+        if self._policy is not None:
+            return self._replay_policy(times, keys, sizes, out)
+
+        C = self.capacity
+        t0 = self.next_slot
+        base = self.base
+        self._ensure(t0 + m - base)
+        off = t0 - base
+
+        promote = self._promote
+        bypass = sizes > C
+        nb = ~bypass
+        n_byp = int(np.count_nonzero(bypass))
+
+        # --- grouping: occurrences of each key, in request order ----------
+        grouped = _group_occurrences(keys, sizes, nb, promote)
+        if grouped is None:
+            # A key changes size within this chunk: reference semantics.
+            self._spill()
+            return self._replay_policy(times, keys, sizes, out)
+        fidx, lidx, pred, succ, gassign = grouped
+
+        if promote:
+            # LRU re-slots every key to its last occurrence regardless of
+            # hit/miss, so probe-old and write-new fuse into one traversal.
+            # Bypassed keys are probed but never written (an oversized key
+            # must not enter the map), falling back to a plain lookup.
+            gsel = nb[fidx]
+            prev = np.full(len(fidx), -1, np.int64)
+            prev[gsel] = self.map.exchange_many(
+                keys[fidx[gsel]], t0 + lidx[gsel]
+            )
+            if not bool(gsel.all()):
+                bsel = ~gsel
+                prev[bsel] = self.map.get_many(keys[fidx[bsel]])
+        else:
+            prev = self.map.get_many(keys[fidx])
+        valid = prev >= base  # below base => already evicted (or purged)
+        if valid.any():
+            stored = self.slot_size[prev[valid] - base]
+            if not bool((stored == sizes[fidx[valid]]).all()):
+                # Size changed across chunks (covers resident-but-oversized
+                # requests too: stored <= C < new size).
+                self._spill()
+                return self._replay_policy(times, keys, sizes, out)
+
+        # --- static slot state for this chunk -----------------------------
+        self.slot_key[off : off + m] = keys
+        if promote:
+            self.slot_size[off : off + m] = np.where(nb, sizes, 0)
+        else:
+            self.slot_size[off : off + m] = 0  # filled per confirmed miss
+
+        # Previous-slot per request: -1 = no live prior residency known.
+        fv = fidx[valid]
+        pv = prev[valid]
+        sel = nb[fv]
+        if promote:
+            # slot_next is only consulted for promotion liveness; FIFO
+            # skips it entirely (a FIFO slot dies only by eviction).
+            self.slot_next[off : off + m] = _INF
+            pslot = np.full(m, -1, np.int64)
+            pslot[fv[sel]] = pv[sel]
+            self.slot_next[pv[sel] - base] = t0 + fv[sel]
+            if len(succ):
+                # LRU: each occurrence chains to the immediately previous one.
+                pslot[succ] = t0 + pred
+                self.slot_next[off + pred] = t0 + succ
+        else:
+            # FIFO: hits don't move, so every occurrence tests the slot of
+            # the key's first occurrence; in-chunk re-admissions are
+            # re-validated lazily in the loop below.
+            pfirst = np.full(len(fidx), -1, np.int64)
+            pfirst[valid] = prev[valid]
+            pslot = pfirst[gassign]
+            pslot[bypass] = -1
+
+        # --- vectorised no-eviction fast path ------------------------------
+        # With ``B`` frozen, classification is already exact: request ``i``
+        # misses iff its key's slot is at-or-below the boundary (for FIFO,
+        # only first occurrences can miss — later ones hit the in-chunk
+        # admission).  When the admitted bytes fit without evicting, the
+        # scalar loop would be pure bookkeeping — fold it with array ops.
+        B0 = self.B
+        if promote:
+            adm_mask = (pslot <= B0) & nb
+        else:
+            first_mask = np.zeros(m, bool)
+            first_mask[fidx] = True
+            adm_mask = first_mask & (pslot <= B0) & nb
+        mi = np.flatnonzero(adm_mask)
+        adm_bytes = int(sizes[mi].sum()) if len(mi) else 0
+        curslot: dict = {}
+        ev = 0
+        if self.used + adm_bytes <= C:
+            self.used += adm_bytes
+            self.resident += len(mi)
+        else:
+            # --- scalar hit/miss scan --------------------------------------
+            # The key's current slot is ``pslot`` (LRU: every request
+            # re-slots its key, so the chain value is exact; FIFO: the map
+            # slot, overridden by the in-chunk re-admission table), and a
+            # request hits iff that slot is still above the boundary.  Hits
+            # cost one comparison; only misses do eviction work, advancing
+            # ``B`` over the slot window.
+            cidx = np.flatnonzero(nb)
+            ci_l = cidx.tolist()
+            cp_l = pslot[cidx].tolist()
+            cs_l = sizes[cidx].tolist()
+            shift = max(B0 + 1, base)  # slots below are settled, never read
+            lo = shift - base
+            hi = off + m
+            # Materialise only the window prefix ``B`` can actually reach:
+            # consuming slots whose *guaranteed*-freed cumulative bytes
+            # cover the worst-case byte demand (every candidate admitted)
+            # provably satisfies the loop condition, so ``B`` never passes
+            # that point.  Slight overflows of a huge resident window (the
+            # common near-capacity case) then cost O(overflow), not
+            # O(window), in list conversion.
+            seg_sz = self.slot_size[lo:hi]
+            if promote:
+                freed = np.where(
+                    (seg_sz > 0) & (self.slot_next[lo:hi] >= t0 + m), seg_sz, 0
+                )
+            else:
+                # FIFO frees every nonzero slot; chunk slots read as 0 until
+                # admitted (conservative: undercounts freed bytes).
+                freed = seg_sz
+            need = self.used + int(sizes[cidx].sum()) - C
+            wrel = min(int(np.searchsorted(np.cumsum(freed), need)) + 1, hi - lo)
+            sz_l = seg_sz[:wrel].tolist()
+            if not promote and wrel < hi - lo:
+                # Admissions write their size at ``step - shift``, which may
+                # lie past the read bound; pad (never read back past wrel).
+                sz_l.extend([0] * (hi - lo - wrel))
+            ck_l = keys[cidx].tolist() if not promote else None
+
+            miss_idx: list = []
+            miss_append = miss_idx.append
+            B = B0
+            used = self.used
+            resident = self.resident
+            used0 = used
+            res0 = resident
+            fb = 0
+            if promote and out is None:
+                # Counting-only variant: per-miss identity is never consumed
+                # (no decision stream, LRU writes no per-miss slot sizes), so
+                # admissions are recovered from the used/resident deltas plus
+                # freed bytes instead of materialising an index list.
+                nx_l = self.slot_next[lo : lo + wrel].tolist()
+                for i, p, s in zip(ci_l, cp_l, cs_l):
+                    if p > B:
+                        continue  # still resident above the boundary: hit
+                    step = t0 + i
+                    while used + s > C and resident:
+                        B += 1
+                        q = B - shift
+                        sz = sz_l[q]
+                        if sz > 0 and nx_l[q] > step:
+                            used -= sz
+                            fb += sz
+                            resident -= 1
+                            ev += 1
+                    used += s
+                    resident += 1
+            elif promote:
+                nx_l = self.slot_next[lo : lo + wrel].tolist()
+                for i, p, s in zip(ci_l, cp_l, cs_l):
+                    if p > B:
+                        continue  # still resident above the boundary: hit
+                    step = t0 + i
+                    while used + s > C and resident:
+                        B += 1
+                        q = B - shift
+                        sz = sz_l[q]
+                        if sz > 0 and nx_l[q] > step:
+                            used -= sz
+                            resident -= 1
+                            ev += 1
+                    used += s
+                    resident += 1
+                    miss_append(i)
+            else:
+                get = curslot.get
+                for i, p, s, k in zip(ci_l, cp_l, cs_l, ck_l):
+                    if get(k, p) > B:
+                        continue  # hit (maybe via an in-chunk re-admission)
+                    step = t0 + i
+                    while used + s > C and resident:
+                        B += 1
+                        q = B - shift
+                        if sz_l[q] > 0:
+                            used -= sz_l[q]
+                            resident -= 1
+                            ev += 1
+                    used += s
+                    resident += 1
+                    sz_l[step - shift] = s
+                    curslot[k] = step
+                    miss_append(i)
+            self.B = B
+            self.used = used
+            self.resident = resident
+            if promote and out is None:
+                mi = None
+                n_adm = (resident - res0) + ev
+                adm_bytes = (used - used0) + fb
+            else:
+                mi = np.asarray(miss_idx, np.int64)
+                n_adm = len(mi)
+                adm_bytes = int(sizes[mi].sum()) if n_adm else 0
+
+        # --- fold results --------------------------------------------------
+        if mi is not None:
+            n_adm = len(mi)
+        if not promote and n_adm:
+            self.slot_size[mi + off] = sizes[mi]
+        byp_bytes = int(sizes[bypass].sum()) if n_byp else 0
+        total_bytes = int(sizes.sum())
+        st = self.stats
+        n_miss = n_adm + n_byp
+        st.misses += n_miss
+        st.hits += m - n_miss
+        st.bytes_missed += adm_bytes + byp_bytes
+        st.bytes_hit += total_bytes - adm_bytes - byp_bytes
+        st.evictions += ev
+        st.bypasses += n_byp
+        self.clock += m
+        self.next_slot = t0 + m
+
+        # Key map: FIFO points each key at its end-of-chunk slot (the LRU
+        # path already did, fused into the prev-slot probe above).
+        dead = (self.next_slot - self.base) - self.resident
+        # Amortised: a rebuild costs O(resident), so demand a multiple of
+        # that in dead slots — the window stays <= 3x resident + chunk
+        # while large resident sets (no-eviction replays) compact rarely.
+        will_compact = dead > self._COMPACT_SLACK and dead > 2 * self.resident
+        if not will_compact and not promote:
+            if curslot:
+                n = len(curslot)
+                self.map.put_many(
+                    np.fromiter(curslot.keys(), np.int64, n),
+                    np.fromiter(curslot.values(), np.int64, n),
+                )
+            elif n_adm:
+                # Fast path: only admissions move keys to new slots.
+                self.map.put_many(keys[mi], t0 + mi)
+
+        if out is not None:
+            hits_mask = nb
+            if n_adm:
+                hits_mask = nb.copy()
+                hits_mask[mi] = False
+            out.extend(hits_mask.tolist())
+
+        if will_compact:
+            self._compact()
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._policy) if self._policy is not None else self.resident
+
+    def resident_keys(self) -> list:
+        """Keys MRU -> LRU, matching :meth:`QueueCache.resident_keys`."""
+        if self._policy is not None:
+            return self._policy.resident_keys()
+        return self.slot_key[self._live_rel()[::-1]].tolist()
+
+    def metadata_bytes(self) -> int:
+        return 110 * len(self)
+
+    @property
+    def spilled(self) -> bool:
+        """Whether inconsistent sizes forced the reference-policy fallback."""
+        return self._policy is not None
+
+
+class BatchLRU(_BatchQueueCore):
+    """Vectorised byte-LRU (bit-exact with :class:`repro.cache.lru.LRUCache`)."""
+
+    name = "LRU"
+    _promote = True
+
+    @property
+    def _policy_cls(self):
+        from repro.cache.lru import LRUCache
+
+        return LRUCache
+
+
+class BatchFIFO(_BatchQueueCore):
+    """Vectorised byte-FIFO (bit-exact with :class:`repro.cache.fifo.FIFOCache`)."""
+
+    name = "FIFO"
+    _promote = False
+
+    @property
+    def _policy_cls(self):
+        from repro.cache.fifo import FIFOCache
+
+        return FIFOCache
+
+
+# ---------------------------------------------------------------------------
+# CLOCK / SIEVE: scalar array cores (no Node allocation)
+# ---------------------------------------------------------------------------
+class _ScalarRingCore:
+    """Intrusive ring over flat int lists: slot 0 is the sentinel; ``prv``
+    points toward the MRU/head end (mirroring :class:`LinkedQueue`).
+    Evicted positions are recycled through a freelist, so steady-state
+    replay allocates nothing per request."""
+
+    name = "abstract"
+
+    def __init__(self, capacity: int):
+        capacity = int(capacity)
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self.clock = 0
+        self.used = 0
+        self.index: dict = {}
+        self.key = [0]
+        self.size = [0]
+        self.ref = [False]
+        self.nxt = [0]
+        self.prv = [0]
+        self.free: list = []
+
+    def _alloc(self, k: int, s: int) -> int:
+        if self.free:
+            p = self.free.pop()
+            self.key[p] = k
+            self.size[p] = s
+            self.ref[p] = False
+            return p
+        self.key.append(k)
+        self.size.append(s)
+        self.ref.append(False)
+        self.nxt.append(0)
+        self.prv.append(0)
+        return len(self.key) - 1
+
+    def _link_head(self, p: int) -> None:
+        h = self.nxt[0]
+        self.prv[p] = 0
+        self.nxt[p] = h
+        self.prv[h] = p
+        self.nxt[0] = p
+
+    def _unlink(self, p: int) -> None:
+        self.nxt[self.prv[p]] = self.nxt[p]
+        self.prv[self.nxt[p]] = self.prv[p]
+
+    def _evict_pos(self, p: int) -> None:
+        self._unlink(p)
+        del self.index[self.key[p]]
+        self.used -= self.size[p]
+        self.stats.evictions += 1
+        self.free.append(p)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def resident_keys(self) -> list:
+        """Keys newest -> oldest (the ring's MRU -> LRU order)."""
+        out = []
+        p = self.nxt[0]
+        while p != 0:
+            out.append(self.key[p])
+            p = self.nxt[p]
+        return out
+
+    def metadata_bytes(self) -> int:
+        return 110 * len(self.index)
+
+    def _on_hit(self, p: int, s: int) -> None:
+        raise NotImplementedError
+
+    def _evict_one(self) -> None:
+        raise NotImplementedError
+
+    def process_chunk(self, times, keys, sizes, out: Optional[list] = None) -> None:
+        C = self.capacity
+        st = self.stats
+        index = self.index
+        size = self.size
+        app = out.append if out is not None else None
+        keys = np.asarray(keys)
+        sizes = np.asarray(sizes)
+        for k, s in zip(keys.tolist(), sizes.tolist()):
+            p = index.get(k)
+            if p is not None:
+                st.hits += 1
+                st.bytes_hit += s
+                if size[p] != s:
+                    self.used += s - size[p]
+                    size[p] = s
+                self._on_hit(p, s)
+                while self.used > C and len(index) > 1:
+                    self._evict_one()
+                if app is not None:
+                    app(True)
+            else:
+                st.misses += 1
+                st.bytes_missed += s
+                if s > C:
+                    st.bypasses += 1
+                else:
+                    while self.used + s > C and index:
+                        self._evict_one()
+                    p = self._alloc(k, s)
+                    self._link_head(p)
+                    index[k] = p
+                    self.used += s
+                if app is not None:
+                    app(False)
+        self.clock += len(keys)
+
+
+class BatchClock(_ScalarRingCore):
+    """Second-chance CLOCK (bit-exact with :class:`ClockCache`)."""
+
+    name = "CLOCK"
+
+    def _on_hit(self, p: int, s: int) -> None:
+        self.ref[p] = True  # reference bit; no movement on hits
+
+    def _evict_one(self) -> None:
+        ref = self.ref
+        prv = self.prv
+        while True:
+            v = prv[0]  # tail = oldest
+            if ref[v]:
+                ref[v] = False
+                self._unlink(v)
+                self._link_head(v)  # second chance
+            else:
+                self._evict_pos(v)
+                return
+
+
+class BatchSieve(_ScalarRingCore):
+    """SIEVE (bit-exact with :class:`SieveCache`): hand survives across
+    evictions, sweeps tail -> head sparing visited entries in place."""
+
+    name = "SIEVE"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self.hand = 0  # 0 = no saved position (start from the tail)
+
+    def _on_hit(self, p: int, s: int) -> None:
+        self.ref[p] = True  # visited bit; SIEVE never moves nodes
+
+    def _evict_one(self) -> None:
+        ref = self.ref
+        prv = self.prv
+        hand = self.hand
+        if hand == 0:
+            hand = prv[0]  # tail
+        while ref[hand]:
+            ref[hand] = False
+            nh = prv[hand]  # toward head
+            hand = nh if nh != 0 else prv[0]  # wrap to the tail
+        self.hand = prv[hand]  # may be 0: next sweep restarts at the tail
+        self._evict_pos(hand)
+
+
+# ---------------------------------------------------------------------------
+# Registry + engine entry points
+# ---------------------------------------------------------------------------
+BATCH_POLICIES = {
+    "LRU": BatchLRU,
+    "FIFO": BatchFIFO,
+    "CLOCK": BatchClock,
+    "SIEVE": BatchSieve,
+}
+
+
+def batch_supported(name: str) -> bool:
+    """Whether the batch engine has a bit-exact core for this policy name."""
+    return name in BATCH_POLICIES
+
+
+def make_batch_policy(name: str, capacity: int):
+    """Instantiate a batch core by registry policy name."""
+    try:
+        cls = BATCH_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"policy {name!r} has no batch core; batch-capable: "
+            f"{sorted(BATCH_POLICIES)}"
+        ) from None
+    return cls(capacity)
+
+
+def iter_source_chunks(
+    source: ChunkSource, chunk_size: int = 1 << 20
+) -> Iterator[Chunk]:
+    """Normalise any trace source into ``(times, keys, sizes)`` chunks.
+
+    Accepts a binary trace path, an open :class:`BinTraceReader`, an
+    in-memory :class:`Trace`, or any iterable already yielding chunk
+    tuples (e.g. :func:`repro.traces.streaming.stream_chunks`).
+    """
+    if isinstance(source, (str, Path)):
+        reader = BinTraceReader(source)
+        try:
+            yield from reader.iter_chunks(chunk_size)
+        finally:
+            reader.close()
+    elif isinstance(source, BinTraceReader):
+        yield from source.iter_chunks(chunk_size)
+    elif isinstance(source, Trace):
+        reqs = source.requests
+        for lo in range(0, len(reqs), chunk_size):
+            blk = reqs[lo : lo + chunk_size]
+            n = len(blk)
+            times = np.fromiter((r.time for r in blk), np.int64, n)
+            keys = np.fromiter((r.key for r in blk), np.int64, n)
+            sizes = np.fromiter((r.size for r in blk), np.int64, n)
+            yield times, keys, sizes
+    else:
+        yield from source
+
+
+def _source_name(source: ChunkSource) -> str:
+    if isinstance(source, (str, Path)):
+        return Path(source).stem
+    if isinstance(source, BinTraceReader):
+        return source.name
+    if isinstance(source, Trace):
+        return source.name
+    return "stream"
+
+
+def _as_int64_sizes(sizes: np.ndarray) -> np.ndarray:
+    sizes = np.asarray(sizes)
+    if sizes.dtype == np.uint64 and sizes.size and int(sizes.max()) > 2**63 - 1:
+        raise ValueError("object sizes exceed int64 range")
+    return sizes.astype(np.int64, copy=False)
+
+
+def batch_replay(
+    policy: str,
+    source: ChunkSource,
+    cache_bytes: int,
+    chunk_size: int = 1 << 20,
+    out: Optional[list] = None,
+):
+    """Replay a source through a batch core; returns the finished core
+    (stats, resident set).  The decision-stream ``out`` matches
+    :meth:`CachePolicy.replay` bit for bit."""
+    core = make_batch_policy(policy, cache_bytes) if isinstance(policy, str) else policy
+    for times, keys, sizes in iter_source_chunks(source, chunk_size):
+        core.process_chunk(times, keys, _as_int64_sizes(sizes), out)
+    return core
+
+
+def simulate_batch(
+    policy: str,
+    source: ChunkSource,
+    cache_bytes: int,
+    warmup: int = 0,
+    chunk_size: int = 1 << 20,
+    trace_name: Optional[str] = None,
+) -> SimResult:
+    """Batch-engine counterpart of :func:`repro.sim.engine.simulate`.
+
+    Streams ``source`` through the named policy's batch core and returns
+    the same :class:`SimResult` shape as the rich engine (aggregate
+    metrics from stats deltas at the warm-up boundary, wall-clock TPS over
+    the whole replay).  Memory stays bounded by chunk size + resident set
+    regardless of trace length.
+    """
+    core = make_batch_policy(policy, cache_bytes) if isinstance(policy, str) else policy
+    name = trace_name or _source_name(source)
+    st = core.stats
+    seen = 0
+    snap = (0, 0, 0, 0)
+    t_cpu0 = time.process_time()
+    t0 = time.perf_counter()
+    for times, keys, sizes in iter_source_chunks(source, chunk_size):
+        sizes = _as_int64_sizes(sizes)
+        n = len(keys)
+        if seen < warmup and seen + n > warmup:
+            cut = warmup - seen
+            core.process_chunk(times[:cut], keys[:cut], sizes[:cut])
+            snap = (st.hits, st.misses, st.bytes_hit, st.bytes_missed)
+            core.process_chunk(times[cut:], keys[cut:], sizes[cut:])
+        else:
+            core.process_chunk(times, keys, sizes)
+            if seen + n == warmup:
+                snap = (st.hits, st.misses, st.bytes_hit, st.bytes_missed)
+        seen += n
+    elapsed = time.perf_counter() - t0
+    cpu = time.process_time() - t_cpu0
+    if warmup > 0 and seen <= warmup:
+        snap = (st.hits, st.misses, st.bytes_hit, st.bytes_missed)
+
+    h0, m0, bh0, bm0 = snap
+    metrics = MetricsCollector(warmup=warmup)
+    metrics._seen = seen
+    metrics.hits = st.hits - h0
+    metrics.misses = st.misses - m0
+    metrics.requests = metrics.hits + metrics.misses
+    metrics.bytes_missed = st.bytes_missed - bm0
+    metrics.bytes_requested = (st.bytes_hit - bh0) + metrics.bytes_missed
+    return SimResult(
+        policy=core.name,
+        trace=name,
+        cache_bytes=core.capacity,
+        requests=seen,
+        miss_ratio=metrics.miss_ratio,
+        byte_miss_ratio=metrics.byte_miss_ratio,
+        tps=seen / elapsed if elapsed > 0 else float("inf"),
+        cpu_seconds=cpu,
+        metadata_bytes=core.metadata_bytes(),
+        peak_alloc_bytes=0,
+        metrics=metrics,
+        policy_obj=core,
+    )

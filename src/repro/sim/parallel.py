@@ -17,7 +17,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["default_worker_count", "run_grid_parallel", "Cell"]
+__all__ = ["default_worker_count", "run_grid_parallel", "mrc_sweep", "Cell", "MrcCell"]
 
 
 def default_worker_count() -> int:
@@ -109,3 +109,87 @@ def run_grid_parallel(
         return [_run_cell(cell) for cell in cells]
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(_run_cell, cells))
+
+
+#: (bin_path, policy_name, cache_bytes, chunk_size)
+MrcCell = Tuple[str, str, int, int]
+
+
+def _run_mrc_cell(cell: MrcCell) -> dict:
+    from repro.sim.batch import batch_replay
+
+    path, policy, cache_bytes, chunk_size = cell
+    core = batch_replay(policy, path, cache_bytes, chunk_size=chunk_size)
+    st = core.stats
+    classified = st.hits + st.misses
+    return {
+        "policy": policy,
+        "cache_bytes": cache_bytes,
+        "miss_ratio": st.misses / classified if classified else 0.0,
+        "byte_miss_ratio": (
+            st.bytes_missed / (st.bytes_hit + st.bytes_missed)
+            if st.bytes_hit + st.bytes_missed
+            else 0.0
+        ),
+        "hits": st.hits,
+        "misses": st.misses,
+        "bypasses": st.bypasses,
+        "evictions": st.evictions,
+        "spilled": core.spilled,
+    }
+
+
+def mrc_sweep(
+    path,
+    policy: str = "LRU",
+    fractions: Sequence[float] = (0.005, 0.01, 0.05, 0.1),
+    cache_sizes: Optional[Sequence[int]] = None,
+    chunk_size: int = 1 << 20,
+    max_workers: Optional[int] = None,
+) -> List[dict]:
+    """Trace-parallel miss-ratio curve over one binary trace file.
+
+    Each cache size is an independent batch replay, so the sweep fans the
+    *same* ``.bin`` file out over a process pool — workers mmap it
+    independently and share its pages through the OS cache, so a
+    paper-scale trace is read from disk once, not once per point.
+
+    ``fractions`` are of the header's working-set estimate (the Figure 1
+    x-axis); pass explicit ``cache_sizes`` (bytes) to bypass the estimate.
+    Rows come back sorted by ``cache_bytes``, each tagged with
+    ``cache_fraction`` when derived from a fraction.
+    """
+    from repro.sim.batch import BATCH_POLICIES, batch_supported
+    from repro.traces.binfmt import BinTraceReader
+
+    if not batch_supported(policy):
+        raise KeyError(
+            f"policy {policy!r} has no batch core; batch-capable: {sorted(BATCH_POLICIES)}"
+        )
+    path = str(path)
+    if cache_sizes is None:
+        with BinTraceReader(path) as reader:
+            wss = reader.wss_estimate
+        sizes = [max(int(wss * f), 1) for f in fractions]
+        frac_of = dict(zip(sizes, fractions))
+    else:
+        sizes = [int(c) for c in cache_sizes]
+        if any(c < 1 for c in sizes):
+            raise ValueError(f"cache_sizes must be >= 1, got {cache_sizes}")
+        frac_of = {}
+    cells: List[MrcCell] = [(path, policy, c, chunk_size) for c in sizes]
+    if max_workers is None:
+        max_workers = default_worker_count()
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    max_workers = min(max_workers, max(len(cells), 1))
+    if max_workers == 1 or len(cells) <= 1:
+        rows = [_run_mrc_cell(cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            rows = list(pool.map(_run_mrc_cell, cells))
+    for row in rows:
+        if row["cache_bytes"] in frac_of:
+            row["cache_fraction"] = frac_of[row["cache_bytes"]]
+    rows.sort(key=lambda r: r["cache_bytes"])
+    return rows

@@ -36,7 +36,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.sim.request import Trace
-from repro.traces.synthetic import WorkloadSpec, generate_trace
+from repro.traces.synthetic import WorkloadSpec, generate_trace, spec_to_bin
 
 __all__ = [
     "WORKLOADS",
@@ -44,6 +44,7 @@ __all__ = [
     "cdn_w_spec",
     "cdn_a_spec",
     "make_workload",
+    "workload_to_bin",
     "workload_names",
 ]
 
@@ -161,3 +162,20 @@ def make_workload(name: str, n_requests: int = 200_000, seed: int | None = None)
         raise KeyError(f"unknown workload {name!r}; choose from {list(WORKLOADS)}") from None
     spec = factory(n_requests=n_requests) if seed is None else factory(n_requests=n_requests, seed=seed)  # type: ignore[operator]
     return generate_trace(spec)
+
+
+def workload_to_bin(
+    name: str, n_requests: int, path, seed: int | None = None
+) -> dict:
+    """Generate a named workload straight into a binary trace file.
+
+    Same trace as :func:`make_workload` (bit-exact keys/sizes/order) but
+    written via :func:`~repro.traces.synthetic.spec_to_bin`, skipping the
+    Python ``Request`` list.  Returns the written header dict.
+    """
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; choose from {list(WORKLOADS)}") from None
+    spec = factory(n_requests=n_requests) if seed is None else factory(n_requests=n_requests, seed=seed)  # type: ignore[operator]
+    return spec_to_bin(spec, path)

@@ -1,6 +1,6 @@
 """Trace file I/O.
 
-Two formats:
+Two text formats:
 
 * **LRB format** — whitespace-separated ``timestamp key size`` per line,
   the format the LRB simulator (and thus the paper's evaluation) consumes.
@@ -8,19 +8,38 @@ Two formats:
   downstream analysis.
 
 Both round-trip exactly through :class:`~repro.sim.request.Trace`.
+
+Each format has two readers: ``read_*`` materialises a whole
+:class:`Trace` (fine for experiment-scale files), while ``iter_*``
+streams ``(times, keys, sizes)`` numpy chunks with **O(chunk) memory**
+— the shape the batch engine and :class:`~repro.traces.binfmt.BinTraceWriter`
+consume, so paper-scale text traces convert to the binary format without
+ever being resident in full (see :func:`text_to_bin`).
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Tuple, Union
 
-from repro.sim.request import Request, Trace
+import numpy as np
 
-__all__ = ["write_lrb", "read_lrb", "write_csv", "read_csv"]
+from repro.sim.request import Trace, requests_from_arrays
+
+__all__ = [
+    "write_lrb",
+    "read_lrb",
+    "iter_lrb",
+    "write_csv",
+    "read_csv",
+    "iter_csv",
+    "text_to_bin",
+    "bin_to_text",
+]
 
 PathLike = Union[str, Path]
+Chunk = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
 def write_lrb(trace: Trace, path: PathLike) -> None:
@@ -30,18 +49,52 @@ def write_lrb(trace: Trace, path: PathLike) -> None:
             fh.write(f"{req.time} {req.key} {req.size}\n")
 
 
-def read_lrb(path: PathLike, name: str | None = None) -> Trace:
-    """Read an LRB-format trace file."""
-    requests = []
+def _flush(times: list, keys: list, sizes: list) -> Chunk:
+    n = len(keys)
+    return (
+        np.fromiter(times, np.int64, n),
+        np.fromiter(keys, np.int64, n),
+        np.fromiter(sizes, np.int64, n),
+    )
+
+
+def iter_lrb(path: PathLike, chunk_size: int = 1 << 20) -> Iterator[Chunk]:
+    """Stream an LRB-format file as ``(times, keys, sizes)`` chunks.
+
+    Peak memory is one chunk regardless of file length; malformed lines
+    raise the same ``path:lineno``-prefixed :class:`ValueError` as
+    :func:`read_lrb`.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    times: list = []
+    keys: list = []
+    sizes: list = []
     with open(path) as fh:
         for lineno, line in enumerate(fh, 1):
             parts = line.split()
             if not parts:
                 continue
             if len(parts) != 3:
-                raise ValueError(f"{path}:{lineno}: expected 'time key size', got {line!r}")
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'time key size', got {line!r}"
+                )
             t, k, s = parts
-            requests.append(Request(int(t), int(k), int(s)))
+            times.append(int(t))
+            keys.append(int(k))
+            sizes.append(int(s))
+            if len(keys) >= chunk_size:
+                yield _flush(times, keys, sizes)
+                times, keys, sizes = [], [], []
+    if keys:
+        yield _flush(times, keys, sizes)
+
+
+def read_lrb(path: PathLike, name: str | None = None) -> Trace:
+    """Read an LRB-format trace file."""
+    requests: list = []
+    for times, keys, sizes in iter_lrb(path):
+        requests.extend(requests_from_arrays(keys, sizes, times))
     return Trace(requests, name=name or Path(path).stem)
 
 
@@ -54,9 +107,13 @@ def write_csv(trace: Trace, path: PathLike) -> None:
             writer.writerow([req.time, req.key, req.size])
 
 
-def read_csv(path: PathLike, name: str | None = None) -> Trace:
-    """Read a ``time,key,size`` CSV trace."""
-    requests = []
+def iter_csv(path: PathLike, chunk_size: int = 1 << 20) -> Iterator[Chunk]:
+    """Stream a ``time,key,size`` CSV as ``(times, keys, sizes)`` chunks."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    times: list = []
+    keys: list = []
+    sizes: list = []
     with open(path, newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader, None)
@@ -66,5 +123,72 @@ def read_csv(path: PathLike, name: str | None = None) -> Trace:
             if not row:
                 continue
             t, k, s = row
-            requests.append(Request(int(t), int(k), int(s)))
+            times.append(int(t))
+            keys.append(int(k))
+            sizes.append(int(s))
+            if len(keys) >= chunk_size:
+                yield _flush(times, keys, sizes)
+                times, keys, sizes = [], [], []
+    if keys:
+        yield _flush(times, keys, sizes)
+
+
+def read_csv(path: PathLike, name: str | None = None) -> Trace:
+    """Read a ``time,key,size`` CSV trace."""
+    requests: list = []
+    for times, keys, sizes in iter_csv(path):
+        requests.extend(requests_from_arrays(keys, sizes, times))
     return Trace(requests, name=name or Path(path).stem)
+
+
+def text_to_bin(
+    src: PathLike, dst: PathLike, fmt: str | None = None, chunk_size: int = 1 << 20
+) -> dict:
+    """Convert an LRB/CSV text trace to the binary format, streaming.
+
+    ``fmt`` is ``"lrb"`` or ``"csv"`` (default: sniffed from the ``src``
+    suffix, ``.csv`` -> csv, anything else lrb).  Returns the written
+    header dict.  Peak memory is one chunk at any file size.
+    """
+    from repro.traces.binfmt import BinTraceWriter
+
+    if fmt is None:
+        fmt = "csv" if str(src).lower().endswith(".csv") else "lrb"
+    if fmt not in ("lrb", "csv"):
+        raise ValueError(f"fmt must be 'lrb' or 'csv', got {fmt!r}")
+    it = iter_csv(src, chunk_size) if fmt == "csv" else iter_lrb(src, chunk_size)
+    with BinTraceWriter(dst) as w:
+        for times, keys, sizes in it:
+            w.write_chunk(times, keys, sizes)
+    return w.header_dict()
+
+
+def bin_to_text(
+    src: PathLike, dst: PathLike, fmt: str | None = None, chunk_size: int = 1 << 20
+) -> int:
+    """Export a binary trace to LRB or CSV text, streaming.
+
+    ``fmt`` defaults from the ``dst`` suffix (``.csv`` -> csv, else lrb).
+    Returns the number of requests written.
+    """
+    from repro.traces.binfmt import BinTraceReader
+
+    if fmt is None:
+        fmt = "csv" if str(dst).lower().endswith(".csv") else "lrb"
+    if fmt not in ("lrb", "csv"):
+        raise ValueError(f"fmt must be 'lrb' or 'csv', got {fmt!r}")
+    written = 0
+    with BinTraceReader(src) as reader, open(dst, "w", newline="") as fh:
+        writer = csv.writer(fh) if fmt == "csv" else None
+        if writer is not None:
+            writer.writerow(["time", "key", "size"])
+        for times, keys, sizes in reader.iter_chunks(chunk_size):
+            if writer is not None:
+                writer.writerows(zip(times.tolist(), keys.tolist(), sizes.tolist()))
+            else:
+                fh.writelines(
+                    f"{t} {k} {s}\n"
+                    for t, k, s in zip(times.tolist(), keys.tolist(), sizes.tolist())
+                )
+            written += len(keys)
+    return written

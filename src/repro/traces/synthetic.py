@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.sim.request import Request, Trace
 
-__all__ = ["WorkloadSpec", "generate_trace", "zipf_probs"]
+__all__ = ["WorkloadSpec", "generate_trace", "generate_arrays", "spec_to_bin", "zipf_probs"]
 
 
 def zipf_probs(n: int, alpha: float) -> np.ndarray:
@@ -245,8 +245,14 @@ def _draw_sizes(
     return np.clip(sizes, spec.min_size, spec.max_size).astype(np.int64)
 
 
-def generate_trace(spec: WorkloadSpec) -> Trace:
-    """Generate a trace according to ``spec``.  Deterministic per seed."""
+def generate_arrays(spec: WorkloadSpec):
+    """Generate the workload as parallel ``(keys, sizes)`` int64 arrays.
+
+    This is the whole generator short of materialising ``Request`` objects
+    — the timestamp of request ``i`` is ``i``.  :func:`generate_trace`
+    wraps it for the rich engine; :func:`spec_to_bin` streams the arrays
+    into the binary format without ever building the Python list.
+    """
     if spec.one_shot_frac + spec.burst_frac > 0.95:
         raise ValueError("one_shot_frac + burst_frac must leave room for the core")
     rng = np.random.default_rng(spec.seed)
@@ -443,8 +449,29 @@ def generate_trace(spec: WorkloadSpec) -> Trace:
         all_keys = (all_keys.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(1)
         all_keys = all_keys.astype(np.int64)
     order = np.argsort(all_times, kind="stable")
-    ks = all_keys[order]
-    ss = all_sizes[order]
+    return all_keys[order], all_sizes[order]
 
+
+def generate_trace(spec: WorkloadSpec) -> Trace:
+    """Generate a trace according to ``spec``.  Deterministic per seed."""
+    ks, ss = generate_arrays(spec)
     requests = [Request(t, int(k), int(s)) for t, (k, s) in enumerate(zip(ks, ss))]
     return Trace(requests, name=spec.name)
+
+
+def spec_to_bin(spec: WorkloadSpec, path, chunk_size: int = 1 << 20) -> dict:
+    """Generate a workload straight into a binary trace file.
+
+    The numpy arrays are produced in full (this generator's interleaving
+    needs a global argsort) but the Python ``Request`` list — the dominant
+    memory cost at scale — is never built.  Returns the written header
+    dict.  For O(chunk)-memory generation at 100 M-request scale use
+    :mod:`repro.traces.streaming` instead.
+    """
+    from repro.traces.binfmt import BinTraceWriter
+
+    ks, ss = generate_arrays(spec)
+    with BinTraceWriter(path) as w:
+        for lo in range(0, len(ks), chunk_size):
+            w.write_chunk(None, ks[lo : lo + chunk_size], ss[lo : lo + chunk_size])
+        return w.header_dict()

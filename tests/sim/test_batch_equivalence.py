@@ -1,0 +1,241 @@
+"""Bit-exactness harness: the array-backed batch engine vs the rich engine.
+
+The batch cores in :mod:`repro.sim.batch` are an independent
+reimplementation of LRU/FIFO/CLOCK/SIEVE over structure-of-arrays chunks;
+nothing about them is allowed to be "approximately" right.  For every
+batch-supported policy this harness replays the same trace through both
+engines and asserts **identical**:
+
+* per-request hit/miss decision streams,
+* aggregate stats (hits, misses, evictions, bypasses, byte counters),
+* used bytes and resident-object count,
+* final resident sets — in recency/insertion *order* for LRU/FIFO, as a
+  set for the ring policies (CLOCK/SIEVE order their ring by hand
+  position, which the rich implementations expose differently),
+
+across golden CDN workloads and seeded random traces (including
+inconsistent-size traces that force the spill-to-rich fallback), at
+multiple cache sizes, and — the batch-specific axis — at multiple chunk
+sizes, which must not change a single decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.clock import ClockCache
+from repro.cache.fifo import FIFOCache
+from repro.cache.lru import LRUCache
+from repro.cache.sieve import SieveCache
+from repro.sim.batch import (
+    BATCH_POLICIES,
+    batch_replay,
+    batch_supported,
+    make_batch_policy,
+    simulate_batch,
+)
+from repro.sim.engine import simulate
+from repro.sim.request import Trace, requests_from_arrays
+from repro.traces.cdn import make_workload
+
+RICH = {"LRU": LRUCache, "FIFO": FIFOCache, "CLOCK": ClockCache, "SIEVE": SieveCache}
+
+_STAT_FIELDS = ("hits", "misses", "evictions", "bypasses", "bytes_hit", "bytes_missed")
+
+
+def _rich_resident(policy, name):
+    if hasattr(policy, "resident_keys"):
+        return policy.resident_keys()
+    ring = getattr(policy, "ring", None)
+    if ring is None:
+        ring = getattr(policy, "queue", None)
+    return list(ring.keys())
+
+
+def assert_equivalent(name, keys, sizes, cap, chunk):
+    """Replay (keys, sizes) through both engines; assert bit-exactness."""
+    keys = np.asarray(keys, np.int64)
+    sizes = np.asarray(sizes, np.int64)
+    m = len(keys)
+
+    rich = RICH[name](cap)
+    out_rich: list = []
+    rich.replay(requests_from_arrays(keys, sizes, np.arange(m, dtype=np.int64)), out_rich)
+
+    batch = make_batch_policy(name, cap)
+    out_batch: list = []
+    for lo in range(0, m, chunk):
+        hi = min(lo + chunk, m)
+        batch.process_chunk(
+            np.arange(lo, hi, dtype=np.int64), keys[lo:hi], sizes[lo:hi], out_batch
+        )
+
+    assert out_rich == out_batch, f"{name}: decision streams differ"
+    for field in _STAT_FIELDS:
+        assert getattr(rich.stats, field) == getattr(batch.stats, field), (
+            f"{name}: stats.{field} rich={getattr(rich.stats, field)} "
+            f"batch={getattr(batch.stats, field)}"
+        )
+    assert rich.used == batch.used
+    assert len(rich) == len(batch)
+    rich_res = _rich_resident(rich, name)
+    batch_res = batch.resident_keys()
+    if name in ("LRU", "FIFO"):
+        assert rich_res == batch_res, f"{name}: resident order differs"
+    else:
+        assert sorted(rich_res) == sorted(batch_res), f"{name}: resident set differs"
+    return batch
+
+
+def _random_trace(seed):
+    """Seeded random trace; every third seed has inconsistent sizes, which
+    the batch cores must answer by spilling to the rich policy."""
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(200, 2500))
+    nkeys = int(rng.integers(1, max(m // 2, 2)))
+    keys = rng.integers(0, nkeys, m).astype(np.int64)
+    if seed % 3 == 2:
+        sizes = rng.integers(1, 5000, m).astype(np.int64)
+    else:
+        sizes = rng.integers(1, 5000, nkeys).astype(np.int64)[keys]
+    return keys, sizes
+
+
+@pytest.fixture(scope="module")
+def golden():
+    trace = make_workload("CDN-T", n_requests=15_000, seed=3)
+    keys = np.array([r.key for r in trace.requests], np.int64)
+    sizes = np.array([r.size for r in trace.requests], np.int64)
+    wss = int(sizes[np.unique(keys, return_index=True)[1]].sum())
+    return keys, sizes, wss
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize("name", sorted(BATCH_POLICIES))
+    @pytest.mark.parametrize("cap_div", [50, 8])
+    @pytest.mark.parametrize("chunk", [1 << 20, 337])
+    def test_golden_bit_exact(self, golden, name, cap_div, chunk):
+        keys, sizes, wss = golden
+        assert_equivalent(name, keys, sizes, max(wss // cap_div, 1), chunk)
+
+    @pytest.mark.parametrize("name", sorted(BATCH_POLICIES))
+    def test_chunk_size_changes_nothing(self, golden, name):
+        # The batch axis that has no rich-engine counterpart: any chunking
+        # must produce the identical engine end state.
+        keys, sizes, wss = golden
+        cap = max(wss // 10, 1)
+        reference = None
+        for chunk in (1 << 20, 1999, 613):
+            out: list = []
+            core = make_batch_policy(name, cap)
+            for lo in range(0, len(keys), chunk):
+                hi = min(lo + chunk, len(keys))
+                core.process_chunk(
+                    np.arange(lo, hi, dtype=np.int64), keys[lo:hi], sizes[lo:hi], out
+                )
+            state = (out, core.used, core.resident_keys(), core.stats.evictions)
+            if reference is None:
+                reference = state
+            else:
+                assert state == reference, f"{name}: chunk={chunk} diverged"
+
+
+class TestRandomTraces:
+    @pytest.mark.parametrize("name", sorted(BATCH_POLICIES))
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_bit_exact(self, name, seed):
+        keys, sizes = _random_trace(seed)
+        tot = int(sizes.sum())
+        for cap in (1, max(tot // 20, 1), max(tot // 3, 1), 2 * tot):
+            assert_equivalent(name, keys, sizes, cap, 337)
+
+    @pytest.mark.parametrize("name", sorted(BATCH_POLICIES))
+    def test_inconsistent_sizes_spill_and_stay_exact(self, name):
+        keys, sizes = _random_trace(2)  # seed 2: per-request random sizes
+        core = assert_equivalent(name, keys, sizes, max(int(sizes.sum()) // 8, 1), 337)
+        if name in ("LRU", "FIFO"):
+            # The queue cores' slot model assumes stable per-key sizes and
+            # must answer violations by spilling to the rich policy; the
+            # ring cores replay per-request and need no fallback.
+            assert core.spilled, "inconsistent sizes must trip the rich fallback"
+
+    @pytest.mark.parametrize("name", sorted(BATCH_POLICIES))
+    def test_empty_and_single_request(self, name):
+        assert_equivalent(name, [], [], 100, 1 << 20)
+        assert_equivalent(name, [5], [10], 100, 1 << 20)
+        assert_equivalent(name, [5], [1000], 100, 1 << 20)  # bypass-sized
+
+
+class TestCompactionStress:
+    @pytest.mark.parametrize("name", ["LRU", "FIFO"])
+    def test_many_compactions_stay_exact(self, name, monkeypatch):
+        # Shrink the dead-slot slack so compaction (slot renumbering + map
+        # rebuild) fires many times within one small trace.
+        from repro.sim.batch import _BatchQueueCore
+
+        monkeypatch.setattr(_BatchQueueCore, "_COMPACT_SLACK", 256)
+        rng = np.random.default_rng(99)
+        m = 6_000
+        keys = rng.integers(0, 300, m).astype(np.int64)
+        sizes = rng.integers(1, 50, 300).astype(np.int64)[keys]
+        assert_equivalent(name, keys, sizes, int(sizes.sum()) // 6, 449)
+
+
+class TestSimulateBatch:
+    def test_simulate_batch_matches_rich_simulate(self):
+        trace = make_workload("CDN-T", n_requests=8_000, seed=5)
+        cap = max(int(trace.working_set_size * 0.05), 1)
+        for name in sorted(BATCH_POLICIES):
+            rich = simulate(RICH[name](cap), trace)
+            batch = simulate_batch(name, trace, cap)
+            assert batch.miss_ratio == rich.miss_ratio, name
+            assert batch.byte_miss_ratio == rich.byte_miss_ratio, name
+
+    def test_warmup_splits_mid_chunk(self):
+        trace = make_workload("CDN-T", n_requests=6_000, seed=5)
+        cap = max(int(trace.working_set_size * 0.05), 1)
+        warm = len(trace) // 3
+        rich = simulate(LRUCache(cap), trace, warmup=warm)
+        batch = simulate_batch("LRU", trace, cap, warmup=warm)
+        assert batch.miss_ratio == rich.miss_ratio
+        assert batch.byte_miss_ratio == rich.byte_miss_ratio
+
+    def test_batch_replay_from_bin_file(self, tmp_path):
+        from repro.traces.binfmt import write_bin
+
+        trace = make_workload("CDN-T", n_requests=6_000, seed=5)
+        cap = max(int(trace.working_set_size * 0.05), 1)
+        path = tmp_path / "t.bin"
+        write_bin(trace, path)
+        out_mem: list = []
+        out_file: list = []
+        batch_replay("LRU", trace, cap, out=out_mem)
+        batch_replay("LRU", str(path), cap, chunk_size=1024, out=out_file)
+        assert out_mem == out_file
+
+    def test_batch_supported_matches_registry(self):
+        assert batch_supported("LRU") and batch_supported("SIEVE")
+        assert not batch_supported("SCIP")
+        assert set(BATCH_POLICIES) == {"LRU", "FIFO", "CLOCK", "SIEVE"}
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    """The full pre-merge matrix — hundreds of combos, opt-in via -m slow."""
+
+    @pytest.mark.parametrize("name", sorted(BATCH_POLICIES))
+    def test_exhaustive(self, name):
+        trace = make_workload("CDN-T", n_requests=30_000, seed=3)
+        keys = np.array([r.key for r in trace.requests], np.int64)
+        sizes = np.array([r.size for r in trace.requests], np.int64)
+        wss = int(sizes[np.unique(keys, return_index=True)[1]].sum())
+        for cap_div in (100, 20, 5):
+            for chunk in (1 << 20, 1999, 337, 1):
+                assert_equivalent(name, keys, sizes, max(wss // cap_div, 1), chunk)
+        for seed in range(36):
+            rkeys, rsizes = _random_trace(seed)
+            tot = int(rsizes.sum())
+            for cap in (1, max(tot // 50, 1), max(tot // 8, 1), 2 * tot):
+                for chunk in (1 << 20, 337):
+                    assert_equivalent(name, rkeys, rsizes, cap, chunk)

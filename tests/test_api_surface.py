@@ -38,17 +38,31 @@ class TestApiSurface:
         exported = {k for k in ns if not k.startswith("__")}
         assert exported == set(repro.api.__all__)
 
-    def test_facade_covers_the_five_subsystems(self):
+    def test_facade_covers_the_subsystems(self):
         for name in (
             "make_policy",       # policies
             "simulate",          # simulation
             "SmartCache",        # embedding
+            "read_bin",          # paper-scale traces: binary format
+            "simulate_batch",    # paper-scale traces: batch replay
+            "mrc_sweep",         # paper-scale traces: parallel sweeps
             "CacheService",      # serving
             "Orchestrator",      # orchestration
             "ClusterRouter",     # cluster
             "ObsConfig",         # observability
         ):
             assert name in repro.api.__all__
+
+    def test_batch_facade_is_live(self):
+        # The paper-scale names are functional through the facade, not
+        # just importable: stream a tiny trace end to end in memory.
+        trace = repro.api.make_workload("CDN-T", n_requests=2_000)
+        cap = max(int(trace.working_set_size * 0.05), 1)
+        rich = repro.api.simulate(repro.api.make_policy("LRU", cap), trace)
+        assert repro.api.batch_supported("LRU")
+        batch = repro.api.simulate_batch("LRU", trace, cap)
+        assert batch.miss_ratio == rich.miss_ratio
+        assert batch.byte_miss_ratio == rich.byte_miss_ratio
 
 
 class TestPolicyRegistry:

@@ -1,0 +1,211 @@
+"""The binary trace format: round-trip properties and corrupt inputs.
+
+Two contracts pin :mod:`repro.traces.binfmt`:
+
+* **bit-exact round trip** — any sequence of ``(time, key, size)``
+  records, written in any chunking, reads back identically through every
+  access path (``read_bin``, ``stream_requests``, ``iter_chunks``),
+  including empty traces, extreme int64 keys, and >4 GiB object sizes;
+* **one canonical error** — every malformed file raises
+  :class:`TraceFormatError` carrying the path and byte offset, never a
+  stray ``struct.error`` and never a silent partial read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.request import Request, Trace
+from repro.traces.binfmt import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    MAGIC,
+    RECORD_SIZE,
+    BinTraceReader,
+    BinTraceWriter,
+    TraceFormatError,
+    is_bin_trace,
+    read_bin,
+    write_bin,
+)
+
+# Sizes span the interesting range: 1 byte up to past the 4 GiB (u32)
+# boundary, where a narrower size field would silently wrap.
+_SIZES = st.one_of(
+    st.integers(min_value=1, max_value=1 << 20),
+    st.integers(min_value=(1 << 32) + 1, max_value=1 << 40),
+)
+_RECORDS = st.lists(
+    st.tuples(
+        st.integers(min_value=-(1 << 62), max_value=1 << 62),   # time
+        st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),  # key
+        _SIZES,
+    ),
+    max_size=120,
+)
+
+
+def _write_chunked(records, path, chunk_size):
+    with BinTraceWriter(path) as w:
+        for lo in range(0, len(records), chunk_size):
+            blk = records[lo : lo + chunk_size]
+            w.write_chunk(
+                np.array([r[0] for r in blk], np.int64),
+                np.array([r[1] for r in blk], np.int64),
+                np.array([r[2] for r in blk], np.uint64),
+            )
+    return w.header_dict()
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(records=_RECORDS, chunk_size=st.integers(min_value=1, max_value=64))
+    def test_write_read_stream_bit_exact(self, records, chunk_size, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bin") / "t.bin"
+        header = _write_chunked(records, path, chunk_size)
+        assert header["count"] == len(records)
+
+        back = read_bin(path, verify=True)
+        assert [(r.time, r.key, r.size) for r in back] == records
+
+        with BinTraceReader(path) as reader:
+            streamed = [(r.time, r.key, r.size) for r in reader.stream_requests(7)]
+            assert streamed == records
+            chunks = list(reader.iter_chunks(5))
+            flat = [
+                (int(t), int(k), int(s))
+                for times, keys, sizes in chunks
+                for t, k, s in zip(times, keys, sizes)
+            ]
+            assert flat == records
+
+    @settings(max_examples=20, deadline=None)
+    @given(records=_RECORDS)
+    def test_header_stats_are_exact(self, records, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bin") / "t.bin"
+        _write_chunked(records, path, 16)
+        with BinTraceReader(path) as reader:
+            assert reader.count == len(records)
+            assert reader.total_bytes == sum(r[2] for r in records)
+            assert reader.max_size == (max((r[2] for r in records), default=0))
+            if records:
+                assert reader.key_min == min(r[1] for r in records)
+                assert reader.key_max == max(r[1] for r in records)
+            reader.verify()  # payload CRC matches the header
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        header = write_bin(Trace([], name="empty"), path)
+        assert header["count"] == 0
+        with BinTraceReader(path) as reader:
+            assert len(reader) == 0
+            assert list(reader.stream_requests()) == []
+            assert list(reader.iter_chunks()) == []
+            reader.verify()
+        assert len(read_bin(path)) == 0
+
+    def test_over_4gib_object_survives(self, tmp_path):
+        # One record past the u32 boundary — a 32-bit size field would
+        # wrap this to 1 byte.
+        big = (1 << 32) + 1
+        path = tmp_path / "big.bin"
+        write_bin([Request(0, 1, big)], path)
+        with BinTraceReader(path) as reader:
+            assert reader.max_size == big
+            assert [r.size for r in reader] == [big]
+
+    def test_request_iterables_and_chunk_iterables_agree(self, tmp_path):
+        records = [(i, i * 37, i % 5 + 1) for i in range(100)]
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        write_bin([Request(t, k, s) for t, k, s in records], a)
+        _write_chunked(records, b, 9)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestCorruptInputs:
+    @pytest.fixture()
+    def valid(self, tmp_path):
+        path = tmp_path / "valid.bin"
+        write_bin([Request(i, i * 3, i + 1) for i in range(50)], path)
+        return path
+
+    def _raises(self, path, match):
+        with pytest.raises(TraceFormatError, match=match) as exc_info:
+            BinTraceReader(path)
+        err = exc_info.value
+        assert isinstance(err, ValueError)
+        assert err.path == str(path)
+        assert str(path) in str(err) and f"offset {err.offset}" in str(err)
+        return err
+
+    def test_truncated_header(self, valid):
+        valid.write_bytes(valid.read_bytes()[:40])
+        err = self._raises(valid, "truncated header")
+        assert err.offset == 40
+
+    def test_empty_file_is_a_truncated_header(self, valid):
+        valid.write_bytes(b"")
+        err = self._raises(valid, "truncated header")
+        assert err.offset == 0
+
+    def test_truncated_tail_record(self, valid):
+        blob = valid.read_bytes()
+        valid.write_bytes(blob[:-10])  # cut into the last record
+        err = self._raises(valid, "truncated payload")
+        payload = len(blob) - 10 - HEADER_SIZE
+        assert err.offset == HEADER_SIZE + (payload // RECORD_SIZE) * RECORD_SIZE
+
+    def test_bad_magic(self, valid):
+        blob = bytearray(valid.read_bytes())
+        blob[0] ^= 0xFF
+        valid.write_bytes(bytes(blob))
+        err = self._raises(valid, "bad magic")
+        assert err.offset == 0
+
+    def test_wrong_version(self, valid):
+        blob = bytearray(valid.read_bytes())
+        blob[8:12] = (FORMAT_VERSION + 41).to_bytes(4, "little")
+        valid.write_bytes(bytes(blob))
+        err = self._raises(valid, "unsupported format version")
+        assert err.offset == 8
+
+    def test_checksum_mismatch_on_verify(self, valid):
+        blob = bytearray(valid.read_bytes())
+        blob[HEADER_SIZE + 5] ^= 0xFF  # corrupt the payload, not the header
+        valid.write_bytes(bytes(blob))
+        reader = BinTraceReader(valid)  # opening is O(1), does not verify
+        with pytest.raises(TraceFormatError, match="checksum mismatch") as exc_info:
+            reader.verify()
+        assert exc_info.value.offset == HEADER_SIZE
+        with pytest.raises(TraceFormatError, match="checksum mismatch"):
+            read_bin(valid, verify=True)
+
+    def test_trailing_bytes_rejected(self, valid):
+        valid.write_bytes(valid.read_bytes() + b"\x00" * RECORD_SIZE)
+        self._raises(valid, "trailing bytes")
+
+    def test_abandoned_writer_leaves_unreadable_file(self, tmp_path):
+        # A writer that dies mid-stream never finalises the header, so the
+        # partial file must not read back as a valid (shorter) trace.
+        path = tmp_path / "abandoned.bin"
+        w = BinTraceWriter(path)
+        w.write_chunk(None, np.arange(10, dtype=np.int64), np.full(10, 7, np.uint64))
+        w._fh.flush()  # simulate the process dying before close()
+        with pytest.raises(TraceFormatError):
+            BinTraceReader(path)
+        w.close()
+
+    def test_is_bin_trace_sniffs_magic(self, valid, tmp_path):
+        assert is_bin_trace(valid)
+        text = tmp_path / "t.lrb"
+        text.write_text("0 1 100\n")
+        assert not is_bin_trace(text)
+        assert not is_bin_trace(tmp_path / "missing.bin")
+
+    def test_magic_is_version_stamped(self):
+        # The magic doubles as a human-readable family stamp; the header
+        # version is authoritative but the magic must stay 8 bytes.
+        assert len(MAGIC) == 8

@@ -3,15 +3,30 @@
 Both on-disk formats (LRB ``time key size`` and headered CSV) must
 preserve keys, sizes, and request order exactly, and corrupt files must
 fail with a clear error rather than producing a silently-wrong trace.
+The ``iter_*`` streaming readers must agree bit-for-bit with their
+materialising counterparts while keeping peak memory at O(chunk), and
+the text<->binary converters must round-trip through both directions.
 """
 
 from __future__ import annotations
 
+import tracemalloc
+
+import numpy as np
 import pytest
 
 from repro.sim.request import Request, Trace
 from repro.traces.cdn import make_workload
-from repro.traces.io import read_csv, read_lrb, write_csv, write_lrb
+from repro.traces.io import (
+    bin_to_text,
+    iter_csv,
+    iter_lrb,
+    read_csv,
+    read_lrb,
+    text_to_bin,
+    write_csv,
+    write_lrb,
+)
 
 
 @pytest.fixture(scope="module")
@@ -90,3 +105,108 @@ class TestCorruptFiles:
     def test_missing_file_raises_oserror(self, tmp_path):
         with pytest.raises(OSError):
             read_lrb(tmp_path / "nope.lrb")
+
+    def test_streaming_iterators_raise_identically(self, tmp_path):
+        # iter_* are the implementation under read_*; their errors carry
+        # the same path:lineno prefix.
+        path = tmp_path / "bad.lrb"
+        path.write_text("0 1 100\n1 2\n")
+        with pytest.raises(ValueError, match=r"bad\.lrb:2"):
+            list(iter_lrb(path))
+        csvp = tmp_path / "bad.csv"
+        csvp.write_text("ts,id,bytes\n0,1,100\n")
+        with pytest.raises(ValueError, match="expected header"):
+            list(iter_csv(csvp))
+
+
+class TestStreamingIterators:
+    def _flatten(self, chunks):
+        chunks = list(chunks)
+        if not chunks:
+            return [], [], []
+        return [
+            np.concatenate([c[i] for c in chunks]).tolist() for i in range(3)
+        ]
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 1 << 20])
+    def test_chunking_never_changes_content(self, small_trace, tmp_path, chunk_size):
+        write_lrb(small_trace, tmp_path / "t.lrb")
+        write_csv(small_trace, tmp_path / "t.csv")
+        want = [
+            [r.time for r in small_trace],
+            [r.key for r in small_trace],
+            [r.size for r in small_trace],
+        ]
+        assert self._flatten(iter_lrb(tmp_path / "t.lrb", chunk_size)) == want
+        assert self._flatten(iter_csv(tmp_path / "t.csv", chunk_size)) == want
+
+    def test_empty_file_yields_no_chunks(self, tmp_path):
+        (tmp_path / "e.lrb").write_text("")
+        assert list(iter_lrb(tmp_path / "e.lrb")) == []
+        (tmp_path / "e.csv").write_text("time,key,size\n")
+        assert list(iter_csv(tmp_path / "e.csv")) == []
+
+    def test_chunk_size_validated(self, tmp_path):
+        (tmp_path / "t.lrb").write_text("0 1 100\n")
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(iter_lrb(tmp_path / "t.lrb", chunk_size=0))
+
+    def test_streaming_read_bounds_peak_memory_on_1m_line_file(self, tmp_path):
+        # The regression this guards: a readlines()-style reader holds all
+        # 1 M line strings (tens of MB) before the first chunk emerges;
+        # the streaming reader's peak is a few chunk buffers.  Tracing the
+        # first two chunks is enough to catch full-file materialisation
+        # without tracemalloc dominating the suite's runtime.
+        path = tmp_path / "big.lrb"
+        with open(path, "w") as fh:
+            for base in range(0, 1_000_000, 20_000):
+                fh.write(
+                    "".join(
+                        f"{i} {(i * 2654435761) % (1 << 40)} {i % 9973 + 1}\n"
+                        for i in range(base, base + 20_000)
+                    )
+                )
+        it = iter_lrb(path, chunk_size=1 << 16)
+        tracemalloc.start()
+        try:
+            first = next(it)
+            second = next(it)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak < 32 << 20, f"streaming read peaked at {peak / 1e6:.1f} MB"
+        total = len(first[1]) + len(second[1]) + sum(len(k) for _, k, _ in it)
+        assert total == 1_000_000
+
+
+class TestTextBinConversion:
+    def test_lrb_to_bin_to_csv_round_trip(self, small_trace, tmp_path):
+        from repro.traces.binfmt import read_bin
+
+        write_lrb(small_trace, tmp_path / "t.lrb")
+        header = text_to_bin(tmp_path / "t.lrb", tmp_path / "t.bin")
+        assert header["count"] == len(small_trace)
+        _assert_same_requests(small_trace, read_bin(tmp_path / "t.bin"))
+
+        n = bin_to_text(tmp_path / "t.bin", tmp_path / "back.csv")
+        assert n == len(small_trace)
+        _assert_same_requests(small_trace, read_csv(tmp_path / "back.csv"))
+        n = bin_to_text(tmp_path / "t.bin", tmp_path / "back.lrb")
+        assert n == len(small_trace)
+        _assert_same_requests(small_trace, read_lrb(tmp_path / "back.lrb"))
+
+    def test_format_sniffed_from_suffix_and_overridable(self, small_trace, tmp_path):
+        from repro.traces.binfmt import read_bin
+
+        write_csv(small_trace, tmp_path / "t.csv")
+        text_to_bin(tmp_path / "t.csv", tmp_path / "t.bin")  # sniffed csv
+        _assert_same_requests(small_trace, read_bin(tmp_path / "t.bin"))
+        # Explicit fmt wins over the suffix.
+        write_lrb(small_trace, tmp_path / "odd.txt")
+        text_to_bin(tmp_path / "odd.txt", tmp_path / "t2.bin", fmt="lrb")
+        assert (tmp_path / "t.bin").read_bytes() == (tmp_path / "t2.bin").read_bytes()
+
+    def test_bad_fmt_rejected(self, tmp_path):
+        (tmp_path / "t.lrb").write_text("0 1 100\n")
+        with pytest.raises(ValueError, match="fmt must be"):
+            text_to_bin(tmp_path / "t.lrb", tmp_path / "t.bin", fmt="parquet")
