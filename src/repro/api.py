@@ -31,7 +31,10 @@ The facade spans the five subsystems grown around the paper reproduction:
   :func:`build_cluster`, :class:`FaultPlan`, :class:`Rebalancer`), the
   replicated multi-node cache front with failure injection;
 * **observability** — :class:`ObsConfig`, :class:`MetricsRegistry` and
-  :class:`Probe`, the shared instrumentation vocabulary.
+  :class:`Probe`, the shared instrumentation vocabulary; plus
+  request-scoped tracing (:class:`Tracer`, :class:`TraceConfig`,
+  :class:`SpanSink`) with SLO accounting (:class:`SLO`,
+  :class:`SLOTracker`).
 
 Quickstart::
 
@@ -57,6 +60,8 @@ from repro.cluster.router import ClusterRouter
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import Probe
+from repro.obs.sinks import SpanSink
+from repro.obs.span import SLO, SLOTracker, TraceConfig, Tracer
 from repro.orchestrate.controller import ControllerConfig, Orchestrator
 from repro.serve.origin import OriginConfig, RetryPolicy, SimulatedOrigin
 from repro.serve.service import CacheService
@@ -126,4 +131,9 @@ __all__ = [
     "ObsConfig",
     "MetricsRegistry",
     "Probe",
+    "Tracer",
+    "TraceConfig",
+    "SpanSink",
+    "SLO",
+    "SLOTracker",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands mirror the library's workflow::
+Eleven subcommands mirror the library's workflow::
 
     python -m repro simulate    --policy SCIP --workload CDN-T --fraction 0.02 \\
                                 [--trace-file big.bin --batch] \\
@@ -16,6 +16,7 @@ Ten subcommands mirror the library's workflow::
     python -m repro cluster-bench [--quick] [--nodes 3] [--replications 1,2] \\
                                 [-o BENCH_cluster.json]
     python -m repro obs         events.jsonl [--rows 24]
+    python -m repro trace-report spans.jsonl [--trace ID] [--waterfalls 1]
 
 `simulate` replays one policy on one workload (optionally recording a
 schema-versioned JSONL event stream, registry snapshots, and a run
@@ -34,7 +35,9 @@ drift trace and writes ``BENCH_orchestrate.json``; `cluster-bench`
 replays a drift trace through the replicated multi-node cluster while
 killing and restarting the busiest node, once per replication factor,
 and writes ``BENCH_cluster.json``; `obs` reads an event stream back into
-the ω_m/ω_l and λ learner trajectories.
+the ω_m/ω_l and λ learner trajectories; `trace-report` renders per-stage
+latency tables, critical-path breakdowns, and span waterfalls from the
+stream ``--span-out`` records on the serving benches.
 
 Policy names everywhere come from the unified registry
 (:func:`repro.cache.registry.available_policies`); every subcommand exits
@@ -144,8 +147,11 @@ def _simulate_batch(args: argparse.Namespace) -> int:
             f"batch-capable: {sorted(BATCH_POLICIES)} (drop --batch for the rich engine)"
         )
         return 2
-    if args.trace_out or args.obs_summary or args.snapshot_every or args.manifest_out:
-        print("--batch replays arrays, not events; observability flags need the rich engine")
+    if args.trace_out or args.snapshot_every or args.manifest_out:
+        print(
+            "--batch replays arrays, not events; event-stream flags need the rich "
+            "engine (--obs-summary works: chunk-boundary aggregates)"
+        )
         return 2
 
     reader = None
@@ -177,6 +183,8 @@ def _simulate_batch(args: argparse.Namespace) -> int:
         f"byte_miss_ratio={res.byte_miss_ratio:.4f} tps={res.tps:,.0f} "
         f"cache={cap / 1e9:.3f} GB"
     )
+    if args.obs_summary and res.obs is not None:
+        print(_format_registry(res.obs["registry"]))
     return 0
 
 
@@ -303,6 +311,26 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.tracereport import format_trace_report
+
+    if args.waterfalls < 0:
+        print(f"--waterfalls must be >= 0, got {args.waterfalls}")
+        return 2
+    try:
+        report = format_trace_report(
+            args.spans, trace_id=args.trace, waterfalls=args.waterfalls
+        )
+    except FileNotFoundError:
+        print(f"no such span stream: {args.spans}")
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"cannot read {args.spans}: {exc}")
+        return 2
+    print(report)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import repro.experiments as E
 
@@ -386,6 +414,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.concurrency is not None and args.concurrency < 1:
         print(f"--concurrency must be >= 1, got {args.concurrency}")
         return 2
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print(f"--trace-sample must be in [0, 1], got {args.trace_sample}")
+        return 2
     # None-valued knobs fall through to the library (and quick-mode) defaults.
     knobs = {
         "workload": args.workload,
@@ -408,6 +439,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             max_retries=args.max_retries,
             seed=args.seed,
+            trace_sample=args.trace_sample,
+            span_out=args.span_out or None,
+            tail_latency_us=(
+                args.tail_latency_ms * 1000.0 if args.tail_latency_ms is not None else None
+            ),
             **{k: v for k, v in knobs.items() if v is not None},
         )
     except KeyError as exc:
@@ -486,6 +522,9 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
             f"0 < kill < restart <= 1, got {args.kill_frac} / {args.restart_frac}"
         )
         return 2
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print(f"--trace-sample must be in [0, 1], got {args.trace_sample}")
+        return 2
     try:
         doc = run_cluster_bench(
             trace=args.trace,
@@ -499,6 +538,8 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
             window=args.window,
             replications=replications,
             seed=args.seed,
+            trace_sample=args.trace_sample,
+            span_out=args.span_out or None,
             output=args.output or None,
             quick=args.quick,
         )
@@ -661,6 +702,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-retries", type=int, default=3,
                    help="origin fetch retries after the first attempt")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace-sample", type=float, default=0.0, metavar="P",
+                   help="head-sample this fraction of requests into spans "
+                        "(0 disables tracing; tail-keep retains error/slow "
+                        "traces regardless)")
+    p.add_argument("--span-out", default=None,
+                   help="write kept traces as JSONL span records here "
+                        "(.gz to compress; implies tracing even at sample 0)")
+    p.add_argument("--tail-latency-ms", type=float, default=None, metavar="MS",
+                   help="tail-keep threshold: retain any trace slower than "
+                        "this end-to-end (default: 5x origin latency)")
     p.add_argument("-o", "--output", default="BENCH_serve.json",
                    help="result JSON path ('' to skip)")
     p.add_argument("--quick", action="store_true",
@@ -723,6 +774,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=int, default=2_000,
                    help="hit-ratio window size for dip/recovery measurement")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace-sample", type=float, default=0.0, metavar="P",
+                   help="head-sample this fraction of requests into spans "
+                        "(tail-keep retains every failover/error trace)")
+    p.add_argument("--span-out", default=None,
+                   help="write kept traces as JSONL span records here "
+                        "(.gz to compress; multi-replication runs infix .R<r>)")
     p.add_argument("-o", "--output", default="BENCH_cluster.json",
                    help="result JSON path ('' to skip)")
     p.add_argument("--quick", action="store_true",
@@ -733,6 +790,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("events", help="events.jsonl[.gz] written by simulate --trace-out")
     p.add_argument("--rows", type=int, default=24, help="max table rows (evenly sampled)")
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser(
+        "trace-report",
+        help="per-stage latency table, critical-path breakdown, and waterfalls "
+        "from a span stream",
+    )
+    p.add_argument("spans", help="spans.jsonl[.gz] written via --span-out")
+    p.add_argument("--trace", default=None,
+                   help="render this trace id's waterfall (default: slowest)")
+    p.add_argument("--waterfalls", type=int, default=1,
+                   help="how many waterfalls to render, slowest first (0 = table only)")
+    p.set_defaults(func=_cmd_trace_report)
 
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p.add_argument("-o", "--output", default="EXPERIMENTS.md")

@@ -85,15 +85,40 @@ def _dip_metrics(series: List[float], window: int, kill_at: int) -> dict:
 
 
 async def _run_scenario(
-    config: ClusterConfig, trace, plan: FaultPlan, window: int, kill_at: int
+    config: ClusterConfig,
+    trace,
+    plan: FaultPlan,
+    window: int,
+    kill_at: int,
+    trace_sample: float = 0.0,
+    span_out: Optional[str] = None,
 ) -> dict:
     router = build_cluster(config)
+    tracer = None
+    if trace_sample > 0.0 or span_out is not None:
+        from repro.obs.span import SpanSink, TraceConfig, Tracer
+
+        tracer = Tracer(
+            sinks=[SpanSink(span_out)] if span_out is not None else [],
+            config=TraceConfig(sample=trace_sample, seed=config.seed),
+            registry=router.metrics.registry,
+        )
     hit_flags: List[bool] = []
     served = errors = shed = 0
     async with router:
         for req in trace:
             await router.apply_faults(plan)
-            out = await router.get(req)
+            span = (
+                tracer.start_trace("request", key=req.key)
+                if tracer is not None
+                else None
+            )
+            out = await router.get(req, span)
+            if span is not None:
+                span.end(
+                    "shed" if out.shed else ("error" if out.error else "ok"),
+                    served_from=out.served_from,
+                )
             if out.shed:
                 shed += 1
                 continue
@@ -121,6 +146,17 @@ async def _run_scenario(
         "hit_ratio_series": [round(r, 4) for r in series],
     }
     doc.update(_dip_metrics(series, window, kill_at))
+    if tracer is not None:
+        tracer.close()
+        stages = tracer.stage_breakdown()
+        doc["tracing"] = {
+            "traces": tracer.stats(),
+            "stages": stages,
+            # Spans are aggregated for every finished trace regardless of
+            # sampling, so this count must equal the failovers counter.
+            "failover_hop_spans": stages.get("failover_hop", {}).get("count", 0),
+            "span_out": span_out,
+        }
     return doc
 
 
@@ -139,6 +175,8 @@ def run_cluster_bench(
     seed: int = 0,
     output: Optional[str] = "BENCH_cluster.json",
     quick: bool = False,
+    trace_sample: float = 0.0,
+    span_out: Optional[str] = None,
 ) -> dict:
     """Run the cluster bench; returns (and optionally persists) the doc.
 
@@ -147,6 +185,12 @@ def run_cluster_bench(
     — the *only* variable is R, so the dip-depth delta is attributable to
     replication alone.  The victim is the node the ring sends the most
     trace keys to, maximising the failure's blast radius.
+
+    ``trace_sample``/``span_out`` turn on request tracing per scenario
+    (see :mod:`repro.obs.span`); with multiple replication factors the
+    span path gains an ``.R<r>`` infix so scenarios don't clobber each
+    other.  Each scenario doc then embeds the per-stage breakdown and the
+    failover-hop span count (which reconciles with its failover counter).
     """
     if quick:
         n_requests = min(n_requests, 24_000)
@@ -174,8 +218,20 @@ def run_cluster_bench(
             seed=seed,
         )
         plan = FaultPlan().kill(victim, at=kill_at).restart(victim, at=restart_at)
+        scenario_span_out = span_out
+        if span_out is not None and len(replications) > 1:
+            stem, dot, ext = span_out.partition(".")
+            scenario_span_out = f"{stem}.R{r}{dot}{ext}" if dot else f"{span_out}.R{r}"
         scenarios[f"R{r}"] = asyncio.run(
-            _run_scenario(config, tr.requests, plan, window, kill_at)
+            _run_scenario(
+                config,
+                tr.requests,
+                plan,
+                window,
+                kill_at,
+                trace_sample=trace_sample,
+                span_out=scenario_span_out,
+            )
         )
 
     bench_config = {
@@ -271,6 +327,13 @@ def format_cluster_doc(doc: dict) -> str:
             f"dip={s['dip_depth']:.4f} recovery={rec if rec is not None else '-'} req "
             f"failovers={s['failovers']} fills={s['fills']} errors={s['errors']}"
         )
+        if "tracing" in s:
+            ts = s["tracing"]["traces"]
+            lines.append(
+                f"      tracing: {ts['traces_kept']:,}/{ts['traces_started']:,} "
+                f"traces kept · failover_hop spans "
+                f"{s['tracing']['failover_hop_spans']} (counter {s['failovers']})"
+            )
     if "r2_dip_shallower" in cmp_:
         lines.append(
             f"  R=2 dip shallower than R=1: {cmp_['r2_dip_shallower']} "

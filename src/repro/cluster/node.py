@@ -69,13 +69,13 @@ class ClusterNode:
             await service.close()
 
     # -- data plane --------------------------------------------------------
-    async def get(self, req: Request) -> ServeOutcome:
+    async def get(self, req: Request, span=None) -> ServeOutcome:
         """Serve one request (the router checks :attr:`up` first)."""
         if not self.up:
             raise RuntimeError(f"get on down node {self.node_id!r}")
         if self.slow_s > 0:
             await asyncio.sleep(self.slow_s)
-        return await self.service.get(req)
+        return await self.service.get(req, span)
 
     async def fill(self, req: Request) -> bool:
         """Replication fill (see :meth:`CacheService.fill`)."""

@@ -30,10 +30,17 @@ __all__ = ["Rebalancer"]
 
 
 class Rebalancer:
-    """Membership-change operator for a live :class:`ClusterRouter`."""
+    """Membership-change operator for a live :class:`ClusterRouter`.
 
-    def __init__(self, router: ClusterRouter):
+    ``tracer`` (optional :class:`repro.obs.span.Tracer`) gives each
+    membership change its own trace — a ``rebalance`` root with a
+    ``warm_handoff`` child covering the fills — so migration cost shows up
+    in the same span stream as the requests it competes with.
+    """
+
+    def __init__(self, router: ClusterRouter, tracer=None):
         self.router = router
+        self.tracer = tracer
 
     # -- reshuffle measurement ---------------------------------------------
     def snapshot_owners(self, keys: Iterable[int]) -> Dict[int, str]:
@@ -62,14 +69,25 @@ class Rebalancer:
         router = self.router
         if node.node_id in router.nodes:
             raise ValueError(f"duplicate node id {node.node_id!r}")
+        span = (
+            self.tracer.start_trace("rebalance", action="add", node=node.node_id)
+            if self.tracer is not None
+            else None
+        )
         await node.start()
         router.nodes[node.node_id] = node
         router.ring.add_node(node.node_id)
         router.metrics.node_up(node.node_id, True)
         moved = 0
         if warm:
+            hspan = span.child("warm_handoff") if span is not None else None
             moved = await self._warm_into(node)
-        return self._record("add", node.node_id, moved)
+            if hspan is not None:
+                hspan.end(moved=moved)
+        doc = self._record("add", node.node_id, moved)
+        if span is not None:
+            span.end(moved=moved, ring_size=len(router.ring))
+        return doc
 
     async def remove_node(self, node_id: str, warm: bool = False) -> dict:
         """Drain a node: shrink the ring, optionally hand its residents to
@@ -80,14 +98,25 @@ class Rebalancer:
             raise KeyError(f"unknown node {node_id!r}")
         if len(router.nodes) == 1:
             raise ValueError("cannot remove the last node")
+        span = (
+            self.tracer.start_trace("rebalance", action="remove", node=node_id)
+            if self.tracer is not None
+            else None
+        )
         router.ring.remove_node(node_id)
         moved = 0
         if warm and node.up:
+            hspan = span.child("warm_handoff") if span is not None else None
             moved = await self._hand_off(node)
+            if hspan is not None:
+                hspan.end(moved=moved)
         await node.stop()
         del router.nodes[node_id]
         router.metrics.node_up(node_id, False)
-        return self._record("remove", node_id, moved)
+        doc = self._record("remove", node_id, moved)
+        if span is not None:
+            span.end(moved=moved, ring_size=len(router.ring))
+        return doc
 
     async def replace_node(
         self, old_id: str, new_node: ClusterNode, warm: bool = False

@@ -293,13 +293,19 @@ class ClusterRouter:
         """The key's preference list (primary first) at current membership."""
         return self.ring.preference_list(key, self.replication)
 
-    async def get(self, req: Request) -> ClusterOutcome:
+    async def get(self, req: Request, span=None) -> ClusterOutcome:
         """Serve one request; never raises for data-plane conditions.
 
         Dead owners are skipped (failover), a miss fills the other live
         owners, and a fully-dead preference list degrades to an
         origin-direct fetch — every branch lands on a
         :class:`ClusterOutcome`, not an exception.
+
+        ``span`` (optional trace span) gets exactly one ``failover_hop``
+        child per failed-over request — the same condition that increments
+        the ``cluster_failovers`` counter, so hop-span counts and the
+        counter reconcile — plus ``node_serve``/``replica_fill``/
+        ``origin_direct`` children for the serve and fill stages.
         """
         if not self._started:
             raise RuntimeError("ClusterRouter.get before start() (use 'async with')")
@@ -313,17 +319,40 @@ class ClusterRouter:
             if not node.up:
                 skipped += 1
                 continue
-            out = await node.get(req)
-            m.node_served(name)
             failover = skipped > 0
+            hop = None
+            parent = span
             if failover:
                 m.failovers.inc()
+                if span is not None:
+                    hop = span.child(
+                        "failover_hop",
+                        frm=owners[0],
+                        to=name,
+                        skipped=skipped,
+                        failover=True,
+                    )
+                    parent = hop
                 if self.probe is not None:
                     self.probe.emit(
                         "failover", key=req.key, frm=owners[0], to=name, at=self.t
                     )
+            nspan = (
+                parent.child("node_serve", node=name)
+                if parent is not None
+                else None
+            )
+            out = await node.get(req, nspan)
+            if nspan is not None:
+                nspan.end(
+                    "shed" if out.shed else ("error" if out.error else "ok"),
+                    hit=out.hit,
+                )
+            m.node_served(name)
             if out.shed:
                 m.shed.inc()
+                if hop is not None:
+                    hop.end("shed")
                 return ClusterOutcome(
                     False, name, failover=failover, shed=True
                 )
@@ -334,7 +363,9 @@ class ClusterRouter:
             else:
                 m.misses.inc()
                 if out.error is None:
-                    await self._fill_replicas(req, owners, served_by=name)
+                    await self._fill_replicas(req, owners, served_by=name, span=parent)
+            if hop is not None:
+                hop.end("ok" if out.error is None else "error")
             return ClusterOutcome(
                 out.hit, name, failover=failover, error=out.error
             )
@@ -342,6 +373,17 @@ class ClusterRouter:
         m.misses.inc()
         m.failovers.inc()
         m.origin_direct.inc()
+        hop = (
+            span.child(
+                "failover_hop",
+                frm=owners[0] if owners else None,
+                to="origin",
+                skipped=skipped,
+                failover=True,
+            )
+            if span is not None
+            else None
+        )
         if self.probe is not None:
             self.probe.emit(
                 "failover", key=req.key, frm=owners[0] if owners else None,
@@ -349,20 +391,29 @@ class ClusterRouter:
             )
         if self.origin is None:
             m.errors.inc()
+            if hop is not None:
+                hop.end("error")
             return ClusterOutcome(
                 False, None, failover=True, served_from="origin",
                 error="no live owner and no origin configured",
             )
+        dspan = hop.child("origin_direct") if hop is not None else None
         outcome = await fetch_with_retry(
-            self.origin, req.key, req.size, self.retry, self._rng
+            self.origin, req.key, req.size, self.retry, self._rng, span=dspan
         )
+        if dspan is not None:
+            dspan.end("ok" if outcome.ok else "error", attempts=outcome.attempts)
+        if hop is not None:
+            hop.end("ok" if outcome.error is None else "error")
         if outcome.error is not None:
             m.errors.inc()
         return ClusterOutcome(
             False, None, failover=True, served_from="origin", error=outcome.error
         )
 
-    async def _fill_replicas(self, req: Request, owners: List[str], served_by: str) -> None:
+    async def _fill_replicas(
+        self, req: Request, owners: List[str], served_by: str, span=None
+    ) -> None:
         """Write-all fill: admit the just-fetched object on the other live
         owners so a failover read finds it resident."""
         for name in owners:
@@ -371,7 +422,13 @@ class ClusterRouter:
             node = self.nodes.get(name)
             if node is None or not node.up:
                 continue
-            if await node.fill(req):
+            fspan = (
+                span.child("replica_fill", node=name) if span is not None else None
+            )
+            filled = await node.fill(req)
+            if fspan is not None:
+                fspan.end(filled=filled)
+            if filled:
                 self.metrics.fills.inc()
 
     # -- introspection -----------------------------------------------------

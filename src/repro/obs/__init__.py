@@ -10,7 +10,11 @@ Three pieces:
   off, and the bulk-replay fast loop opts out entirely;
 * **sinks** — ring buffer, schema-versioned JSONL writer (gzip-able),
   registry recorder, periodic snapshot emitter; plus run **manifests**
-  (seed, params, git SHA) for reproducible artifacts.
+  (seed, params, git SHA) for reproducible artifacts;
+* **spans** — :class:`~repro.obs.span.Tracer` request-scoped trace trees
+  with head sampling + tail-keep, per-stage critical-path attribution,
+  and :class:`~repro.obs.span.SLOTracker` error budgets; rendered by
+  :mod:`repro.obs.tracereport` / ``repro trace-report``.
 
 Entry point for engine users::
 
@@ -28,11 +32,14 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.probe import PROBE_EVENTS, Probe
 from repro.obs.sinks import (
     EVENT_SCHEMA,
+    SPAN_SCHEMA,
     JSONLSink,
     RegistryRecorder,
     RingBufferSink,
     SnapshotEmitter,
+    SpanSink,
 )
+from repro.obs.span import SLO, SLOTracker, Span, TraceConfig, Tracer, critical_path
 
 __all__ = [
     "ObsConfig",
@@ -47,8 +54,16 @@ __all__ = [
     "PROBE_EVENTS",
     "Probe",
     "EVENT_SCHEMA",
+    "SPAN_SCHEMA",
     "JSONLSink",
     "RegistryRecorder",
     "RingBufferSink",
     "SnapshotEmitter",
+    "SpanSink",
+    "SLO",
+    "SLOTracker",
+    "Span",
+    "TraceConfig",
+    "Tracer",
+    "critical_path",
 ]

@@ -22,14 +22,19 @@ from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "EVENT_SCHEMA",
+    "SPAN_SCHEMA",
     "RingBufferSink",
     "JSONLSink",
+    "SpanSink",
     "RegistryRecorder",
     "SnapshotEmitter",
 ]
 
 #: Version of the JSONL event schema; bump on breaking field changes.
 EVENT_SCHEMA = 1
+
+#: Version of the JSONL span stream written by :class:`SpanSink`.
+SPAN_SCHEMA = 1
 
 
 class RingBufferSink:
@@ -50,19 +55,22 @@ class RingBufferSink:
 
 
 class JSONLSink:
-    """Append-only JSONL event writer; ``.gz`` suffix → gzip stream."""
+    """Append-only JSONL event writer; ``.gz`` suffix → gzip stream.
 
-    def __init__(self, path: str):
+    ``header`` overrides the schema line written as the first record —
+    subclasses carrying a different stream kind (spans) pass their own.
+    """
+
+    def __init__(self, path: str, header: Optional[dict] = None):
         self.path = str(path)
         if self.path.endswith(".gz"):
             self._fh = gzip.open(self.path, "wt", encoding="utf-8")
         else:
             self._fh = open(self.path, "w", encoding="utf-8")
         self.written = 0
-        self._fh.write(
-            json.dumps({"event": "schema", "version": EVENT_SCHEMA}, sort_keys=True)
-            + "\n"
-        )
+        if header is None:
+            header = {"event": "schema", "version": EVENT_SCHEMA}
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
 
     def write(self, record: dict) -> None:
         self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
@@ -72,6 +80,21 @@ class JSONLSink:
         if self._fh is not None:
             self._fh.close()
             self._fh = None  # type: ignore[assignment]
+
+
+class SpanSink(JSONLSink):
+    """Schema-versioned JSONL span-stream writer (``.gz`` aware).
+
+    The header line distinguishes the span stream from the event stream:
+    ``{"event": "schema", "stream": "spans", "version": SPAN_SCHEMA}``.
+    Readers (:mod:`repro.obs.tracereport`) refuse other streams/versions.
+    """
+
+    def __init__(self, path: str):
+        super().__init__(
+            path,
+            header={"event": "schema", "stream": "spans", "version": SPAN_SCHEMA},
+        )
 
 
 class RegistryRecorder:

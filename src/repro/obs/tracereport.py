@@ -1,0 +1,287 @@
+"""Render span streams: per-stage tables, waterfalls, critical paths.
+
+Reads the JSONL span stream written by :class:`repro.obs.sinks.SpanSink`
+(`.gz` aware), reassembles traces, and renders what the `repro
+trace-report` CLI prints: a per-stage latency table over every span in the
+file, a critical-path breakdown attributing end-to-end time to stages, and
+a waterfall of one trace (default: the slowest root).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.obs.sinks import SPAN_SCHEMA
+from repro.obs.span import critical_path
+
+__all__ = [
+    "read_spans",
+    "build_traces",
+    "stage_table",
+    "critical_path_totals",
+    "format_stage_table",
+    "format_waterfall",
+    "format_trace_report",
+]
+
+
+def _open_text(path: str) -> TextIO:
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def read_spans(path: str) -> List[dict]:
+    """Load and validate a span stream; returns span records only."""
+    spans: List[dict] = []
+    with _open_text(path) as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty span stream (missing schema header)")
+        header = json.loads(header_line)
+        if header.get("event") != "schema" or header.get("stream") != "spans":
+            raise ValueError(
+                f"{path}: not a span stream (header {header!r}); "
+                "expected a file written by repro.obs.sinks.SpanSink"
+            )
+        version = header.get("version")
+        if version != SPAN_SCHEMA:
+            raise ValueError(
+                f"{path}: span schema version {version!r} not supported "
+                f"(reader understands {SPAN_SCHEMA})"
+            )
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: corrupt span record") from exc
+            if rec.get("kind") == "span":
+                spans.append(rec)
+    return spans
+
+
+def build_traces(spans: List[dict]) -> Dict[int, List[dict]]:
+    """Group span records by trace id (insertion order preserved)."""
+    traces: Dict[int, List[dict]] = {}
+    for rec in spans:
+        traces.setdefault(rec["trace"], []).append(rec)
+    return traces
+
+
+def _quantile(sorted_vals: List[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+def stage_table(spans: List[dict]) -> List[dict]:
+    """Exact per-stage duration stats over all spans, sorted by total."""
+    by_stage: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for rec in spans:
+        if rec.get("end_ns") is None:
+            continue
+        dur_us = (rec["end_ns"] - rec["start_ns"]) / 1000.0
+        by_stage.setdefault(rec["name"], []).append(dur_us)
+        if rec.get("status") != "ok":
+            errors[rec["name"]] = errors.get(rec["name"], 0) + 1
+    rows = []
+    for stage, durs in by_stage.items():
+        durs.sort()
+        rows.append(
+            {
+                "stage": stage,
+                "count": len(durs),
+                "total_us": sum(durs),
+                "mean_us": sum(durs) / len(durs),
+                "p50_us": _quantile(durs, 0.50),
+                "p90_us": _quantile(durs, 0.90),
+                "p99_us": _quantile(durs, 0.99),
+                "max_us": durs[-1],
+                "not_ok": errors.get(stage, 0),
+            }
+        )
+    rows.sort(key=lambda r: -r["total_us"])
+    return rows
+
+
+def critical_path_totals(
+    traces: Dict[int, List[dict]],
+) -> Tuple[List[dict], float]:
+    """Fold every trace's critical path into per-stage totals.
+
+    Returns ``(rows, total_root_us)``; each row's ``share`` is its fraction
+    of summed root latency, so the shares answer "where did the time go".
+    """
+    totals: Dict[str, List[float]] = {}
+    total_root_ns = 0
+    for records in traces.values():
+        for stage, seg_ns in critical_path(records):
+            agg = totals.setdefault(stage, [0, 0.0])
+            agg[0] += 1
+            agg[1] += seg_ns
+        for rec in records:
+            if rec["parent"] is None and rec.get("end_ns") is not None:
+                total_root_ns += rec["end_ns"] - rec["start_ns"]
+    rows = []
+    for stage, (segs, ns) in totals.items():
+        rows.append(
+            {
+                "stage": stage,
+                "segments": segs,
+                "total_us": ns / 1000.0,
+                "share": (ns / total_root_ns) if total_root_ns else 0.0,
+            }
+        )
+    rows.sort(key=lambda r: -r["total_us"])
+    return rows, total_root_ns / 1000.0
+
+
+def _fmt_us(us: float) -> str:
+    if us >= 1_000_000:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1_000:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.0f}µs"
+
+
+def format_stage_table(rows: List[dict]) -> str:
+    lines = [
+        f"{'stage':<16} {'count':>8} {'mean':>10} {'p50':>10} "
+        f"{'p90':>10} {'p99':>10} {'max':>10} {'!ok':>6}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['stage']:<16} {r['count']:>8} {_fmt_us(r['mean_us']):>10} "
+            f"{_fmt_us(r['p50_us']):>10} {_fmt_us(r['p90_us']):>10} "
+            f"{_fmt_us(r['p99_us']):>10} {_fmt_us(r['max_us']):>10} "
+            f"{r['not_ok']:>6}"
+        )
+    return "\n".join(lines)
+
+
+def format_critical_path(rows: List[dict], total_root_us: float) -> str:
+    lines = [f"critical path over {_fmt_us(total_root_us)} of root latency:"]
+    for r in rows:
+        bar = "#" * max(1, int(r["share"] * 40))
+        lines.append(
+            f"  {r['stage']:<16} {_fmt_us(r['total_us']):>10} "
+            f"{r['share'] * 100:5.1f}%  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def format_waterfall(records: List[dict], width: int = 56) -> str:
+    """Indented time-aligned bars for one trace."""
+    done = [r for r in records if r.get("end_ns") is not None]
+    if not done:
+        return "(no finished spans in trace)"
+    root = next((r for r in done if r["parent"] is None), None)
+    t0 = min(r["start_ns"] for r in done)
+    t1 = max(r["end_ns"] for r in done)
+    span_ns = max(1, t1 - t0)
+    by_parent: Dict[Optional[int], List[dict]] = {}
+    for r in done:
+        by_parent.setdefault(r["parent"], []).append(r)
+    for kids in by_parent.values():
+        kids.sort(key=lambda r: r["start_ns"])
+    trace_id = done[0]["trace"]
+    header = f"trace {trace_id}"
+    if root is not None:
+        header += (
+            f" · {root['name']} · {_fmt_us((root['end_ns'] - root['start_ns']) / 1000.0)}"
+            f" · status={root['status']}"
+        )
+    lines = [header]
+
+    def emit(rec: dict, depth: int) -> None:
+        lo = int((rec["start_ns"] - t0) / span_ns * width)
+        hi = max(lo + 1, int((rec["end_ns"] - t0) / span_ns * width))
+        bar = " " * lo + "=" * (hi - lo) + " " * (width - hi)
+        label = "  " * depth + rec["name"]
+        status = "" if rec["status"] == "ok" else f" [{rec['status']}]"
+        tags = rec.get("tags") or {}
+        tag_str = (
+            " {" + ",".join(f"{k}={v}" for k, v in sorted(tags.items())) + "}"
+            if tags
+            else ""
+        )
+        lines.append(
+            f"{label:<26} |{bar}| "
+            f"{_fmt_us((rec['end_ns'] - rec['start_ns']) / 1000.0):>9}"
+            f"{status}{tag_str}"
+        )
+        for child in by_parent.get(rec["span"], ()):
+            emit(child, depth + 1)
+
+    roots = by_parent.get(None, [])
+    if roots:
+        for r in roots:
+            emit(r, 0)
+    else:  # orphaned fragments: render flat
+        for r in sorted(done, key=lambda r: r["start_ns"]):
+            emit(r, 0)
+    return "\n".join(lines)
+
+
+def pick_trace(traces: Dict[int, List[dict]]) -> Optional[int]:
+    """Default display trace: the slowest finished root."""
+    slowest, slowest_ns = None, -1
+    for trace_id, records in traces.items():
+        for rec in records:
+            if rec["parent"] is None and rec.get("end_ns") is not None:
+                dur = rec["end_ns"] - rec["start_ns"]
+                if dur > slowest_ns:
+                    slowest, slowest_ns = trace_id, dur
+    return slowest
+
+
+def format_trace_report(
+    path: str,
+    trace_id: Optional[int] = None,
+    waterfalls: int = 1,
+) -> str:
+    """Everything `repro trace-report` prints, as one string."""
+    spans = read_spans(path)
+    if not spans:
+        return f"{path}: no spans recorded"
+    traces = build_traces(spans)
+    parts = [
+        f"{path}: {len(spans)} spans in {len(traces)} traces",
+        "",
+        format_stage_table(stage_table(spans)),
+        "",
+    ]
+    cp_rows, total_root_us = critical_path_totals(traces)
+    parts.append(format_critical_path(cp_rows, total_root_us))
+    chosen: List[int] = []
+    if trace_id is not None:
+        # The CLI hands the id through as a string; span records carry ints.
+        try:
+            trace_id = int(trace_id)
+        except (TypeError, ValueError):
+            raise KeyError(f"trace id must be an integer, got {trace_id!r}")
+        if trace_id not in traces:
+            raise KeyError(f"trace {trace_id} not present in {path}")
+        chosen = [trace_id]
+    else:
+        ranked = sorted(
+            (
+                (rec["end_ns"] - rec["start_ns"], tid)
+                for tid, records in traces.items()
+                for rec in records
+                if rec["parent"] is None and rec.get("end_ns") is not None
+            ),
+            reverse=True,
+        )
+        chosen = [tid for _, tid in ranked[:waterfalls]]
+    for tid in chosen:
+        parts.append("")
+        parts.append(format_waterfall(traces[tid]))
+    return "\n".join(parts)

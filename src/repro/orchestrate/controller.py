@@ -171,6 +171,11 @@ class Orchestrator:
     probe:
         Optional obs probe (``policy_switch`` on promotion; the rack emits
         ``shadow_hit``).
+    tracer:
+        Optional :class:`repro.obs.span.Tracer`: each promotion becomes a
+        ``policy_switch`` trace whose root wraps the swap callback, so the
+        cost of a live migration is measurable next to the requests it
+        delayed.
     """
 
     def __init__(
@@ -185,6 +190,7 @@ class Orchestrator:
         config: Optional[ControllerConfig] = None,
         registry=None,
         probe=None,
+        tracer=None,
     ):
         self.candidates = dict(candidates)
         if current is None:
@@ -200,6 +206,7 @@ class Orchestrator:
         )
         self.controller = SwitchController(config)
         self.probe = probe
+        self.tracer = tracer
         cfg = self.controller.config
         self.live_mr = DecayedRatio(max(int(cfg.eval_every * 2), 1))
         self.regret = 0.0
@@ -257,7 +264,16 @@ class Orchestrator:
         event = SwitchEvent(at=self.t, frm=self.current, to=target, scores=scores)
         self.switches.append(event)
         if self.swap is not None:
+            span = (
+                self.tracer.start_trace(
+                    "policy_switch", frm=event.frm, to=event.to, at=self.t
+                )
+                if self.tracer is not None
+                else None
+            )
             self.swap(target, self.candidates[target])
+            if span is not None:
+                span.end()
         self.current = target
         if self._switch_counter is not None:
             self._switch_counter.inc()

@@ -68,6 +68,7 @@ async def run_loadgen(
     concurrency: int = 32,
     rate: Optional[float] = None,
     decisions: Optional[list] = None,
+    tracer=None,
 ) -> dict:
     """Drive ``requests`` through the service with ``concurrency`` clients.
 
@@ -86,6 +87,16 @@ async def run_loadgen(
         Optional list collecting per-request hit/miss booleans in
         completion order.  Only with ``concurrency=1`` is that trace order
         — the engine-equivalence tests rely on exactly that configuration.
+    tracer:
+        Optional :class:`repro.obs.span.Tracer`; when given, every request
+        gets a root ``request`` span threaded through the service (ended
+        with status ``ok`` / ``shed`` / ``error``).  ``None`` keeps the
+        path entirely trace-free.
+
+    Latency accounting: successful requests land in ``serve_latency_us``;
+    shed and error outcomes land in ``serve_degraded_latency_us`` instead,
+    so the success distribution isn't polluted by microsecond sheds or
+    multi-second retry failures.
 
     Returns the loadgen summary block of ``BENCH_serve.json``.
     """
@@ -94,6 +105,7 @@ async def run_loadgen(
     it = iter(requests)
     pacer = Pacer(rate) if rate is not None else None
     latency_us = service.metrics.latency_us
+    degraded_us = service.metrics.degraded_latency_us
     counts = {"requests": 0, "hits": 0, "shed": 0, "errors": 0, "coalesced": 0}
 
     async def client() -> None:
@@ -102,9 +114,20 @@ async def run_loadgen(
         for req in it:
             if pacer is not None:
                 await pacer.wait()
-            t0 = time.perf_counter()
-            out = await service.get(req)
-            latency_us.observe(int((time.perf_counter() - t0) * 1e6))
+            span = (
+                tracer.start_trace("request", key=req.key)
+                if tracer is not None
+                else None
+            )
+            t0 = time.perf_counter_ns()
+            out = await service.get(req, span)
+            dt_us = (time.perf_counter_ns() - t0) // 1000
+            if span is not None:
+                span.end(
+                    "shed" if out.shed else ("error" if out.error is not None else "ok"),
+                    hit=out.hit,
+                    shard=out.shard,
+                )
             counts["requests"] += 1
             if out.shed:
                 counts["shed"] += 1
@@ -117,6 +140,10 @@ async def run_loadgen(
                 counts["coalesced"] += 1
             if out.error is not None:
                 counts["errors"] += 1
+            if out.shed or out.error is not None:
+                degraded_us.observe(dt_us)
+            else:
+                latency_us.observe(dt_us)
 
     t0 = time.perf_counter()
     await asyncio.gather(*(client() for _ in range(concurrency)))
@@ -175,8 +202,18 @@ async def serve_bench_async(
     max_retries: int = 3,
     stampede_clients: Optional[int] = None,
     seed: int = 0,
+    trace_sample: float = 0.0,
+    span_out: Optional[str] = None,
+    tail_latency_us: Optional[float] = None,
 ) -> dict:
-    """Build service + workload, run the bench, return the result doc."""
+    """Build service + workload, run the bench, return the result doc.
+
+    Tracing is opt-in: ``trace_sample > 0`` (or a ``span_out`` path)
+    attaches a :class:`repro.obs.span.Tracer` to the load generator —
+    head-sampled at ``trace_sample`` with tail-keep for shed/error/slow
+    traces (``tail_latency_us`` defaults to 5× the origin's mean latency)
+    — and embeds the per-stage breakdown + SLO accounting in the doc.
+    """
     from repro.cache.registry import resolve_policy
     from repro.obs.manifest import build_manifest
     from repro.traces.cdn import make_workload
@@ -219,13 +256,52 @@ async def serve_bench_async(
         "max_retries": max_retries,
         "seed": seed,
     }
+    tracer = None
+    slo = None
+    if trace_sample > 0.0 or span_out is not None:
+        from repro.obs.span import SLO, SLOTracker, SpanSink, TraceConfig, Tracer
+
+        if tail_latency_us is None:
+            tail_latency_us = max(origin_latency * 5e6, 1000.0)
+        slo = SLOTracker(
+            [
+                SLO("request", latency_us=tail_latency_us, target=0.99),
+                SLO(
+                    "origin_fetch",
+                    latency_us=max(origin_latency * 2e6, 1000.0),
+                    target=0.95,
+                ),
+            ],
+            registry=service.metrics.registry,
+        )
+        tracer = Tracer(
+            sinks=[SpanSink(span_out)] if span_out is not None else [],
+            config=TraceConfig(
+                sample=trace_sample, tail_latency_us=tail_latency_us, seed=seed
+            ),
+            registry=service.metrics.registry,
+            slo=slo,
+        )
+        config["trace_sample"] = trace_sample
+        config["tail_latency_us"] = tail_latency_us
     async with service:
         stampede = None
         if stampede_clients is None:
             stampede_clients = concurrency
         if stampede_clients > 1:
             stampede = await stampede_probe(service, stampede_clients)
-        loadgen = await run_loadgen(service, trace.requests, concurrency=concurrency, rate=rate)
+        loadgen = await run_loadgen(
+            service, trace.requests, concurrency=concurrency, rate=rate, tracer=tracer
+        )
+    tracing = None
+    if tracer is not None:
+        tracer.close()
+        tracing = {
+            "traces": tracer.stats(),
+            "stages": tracer.stage_breakdown(),
+            "slo": slo.summary() if slo is not None else None,
+            "span_out": span_out,
+        }
     manifest = build_manifest(trace=trace, seed=seed, extra={"serve_config": config})
     return build_serve_doc(
         config=config,
@@ -236,6 +312,7 @@ async def serve_bench_async(
         policy_stats=service.cache_stats(),
         stampede=stampede,
         manifest=manifest,
+        tracing=tracing,
     )
 
 

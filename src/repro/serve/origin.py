@@ -221,6 +221,7 @@ async def fetch_with_retry(
     retry: RetryPolicy,
     rng: random.Random,
     on_retry: Optional[Callable[[int, str], None]] = None,
+    span=None,
 ) -> FetchOutcome:
     """Fetch ``key`` with per-attempt timeout and jittered backoff.
 
@@ -229,6 +230,9 @@ async def fetch_with_retry(
     degrades the service's metrics instead of crashing its tasks.
     ``on_retry(attempt, reason)`` fires before each backoff sleep — the
     shard wires it to the ``fetch_retry`` probe event and counter.
+    ``span``, if any, parents one ``origin_attempt`` child per try (status
+    ``ok`` / ``timeout`` / ``error``) and a ``retry_backoff`` child per
+    backoff sleep, so retry storms are visible in the trace waterfall.
     """
     loop = asyncio.get_running_loop()
     start = loop.time()
@@ -237,21 +241,39 @@ async def fetch_with_retry(
     error: Optional[str] = None
     for attempt in range(retry.max_retries + 1):
         attempts += 1
+        aspan = (
+            span.child("origin_attempt", attempt=attempts)
+            if span is not None
+            else None
+        )
         try:
             if retry.timeout is None:
                 await origin.fetch(key, size)
             else:
                 await asyncio.wait_for(origin.fetch(key, size), retry.timeout)
+            if aspan is not None:
+                aspan.end()
             return FetchOutcome(key, size, True, None, attempts, timeouts, loop.time() - start)
         except asyncio.TimeoutError:
             timeouts += 1
             error = f"timeout after {retry.timeout}s"
+            if aspan is not None:
+                aspan.end("timeout")
         except OriginError as exc:
             error = str(exc)
+            if aspan is not None:
+                aspan.end("error")
         if attempt < retry.max_retries:
             if on_retry is not None:
                 on_retry(attempts, error)
             delay = retry.backoff(attempt + 1, rng)
             if delay > 0:
+                bspan = (
+                    span.child("retry_backoff", attempt=attempts)
+                    if span is not None
+                    else None
+                )
                 await asyncio.sleep(delay)
+                if bspan is not None:
+                    bspan.end()
     return FetchOutcome(key, size, False, error, attempts, timeouts, loop.time() - start)

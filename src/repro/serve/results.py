@@ -104,6 +104,10 @@ class ServeMetrics:
         self.origin_timeouts = r.counter("origin_timeouts")
         self.origin_failures = r.counter("origin_failures")
         self.latency_us = r.histogram("serve_latency_us")
+        # Shed/error requests land here, not in latency_us: a shed resolves
+        # in microseconds and a terminal failure after retries takes
+        # seconds — either pollutes the success distribution it isn't in.
+        self.degraded_latency_us = r.histogram("serve_degraded_latency_us")
         self.origin_latency_us = r.histogram("origin_latency_us")
         self.queue_depth = r.histogram("serve_queue_depth")
 
@@ -119,6 +123,7 @@ def latency_summary(hist: Histogram) -> dict:
     """Render a µs-observed histogram as the doc's latency block."""
     return {
         "count": hist.count,
+        "sum_us": hist.sum,
         "mean_us": hist.mean,
         "min_us": hist.min,
         "max_us": hist.max,
@@ -137,6 +142,7 @@ def build_serve_doc(
     policy_stats: dict,
     stampede: Optional[dict] = None,
     manifest: Optional[dict] = None,
+    tracing: Optional[dict] = None,
 ) -> dict:
     """Assemble the ``BENCH_serve.json`` document from run pieces."""
     doc = {
@@ -156,6 +162,7 @@ def build_serve_doc(
         "errors": metrics.errors.value,
         "unhandled_exceptions": metrics.unhandled.value,
         "latency": latency_summary(metrics.latency_us),
+        "degraded_latency": latency_summary(metrics.degraded_latency_us),
         "origin_latency": latency_summary(metrics.origin_latency_us),
         "registry": metrics.snapshot(),
     }
@@ -163,6 +170,8 @@ def build_serve_doc(
         doc["stampede"] = dict(stampede)
     if manifest is not None:
         doc["manifest"] = manifest
+    if tracing is not None:
+        doc["tracing"] = tracing
     return doc
 
 
@@ -211,4 +220,28 @@ def format_serve_doc(doc: dict) -> str:
             f"stampede probe: {st['clients']:,} clients → {st['origin_fetches']:,} "
             f"origin fetch(es), {st['coalesced']:,} coalesced"
         )
+    if "tracing" in doc:
+        tr = doc["tracing"]
+        ts = tr.get("traces", {})
+        lines.append(
+            f"tracing: sample {ts.get('sample')} · kept "
+            f"{ts.get('traces_kept', 0):,}/{ts.get('traces_started', 0):,} traces "
+            f"({ts.get('spans_written', 0):,} spans, "
+            f"{ts.get('orphan_spans', 0)} orphans)"
+            + (f" → {tr['span_out']}" if tr.get("span_out") else "")
+        )
+        stages = tr.get("stages", {})
+        if stages:
+            total_crit = sum(s["critical_total_us"] for s in stages.values())
+            top = sorted(
+                stages.items(), key=lambda kv: -kv[1]["critical_total_us"]
+            )[:4]
+            if total_crit > 0:
+                lines.append(
+                    "critical path: "
+                    + " · ".join(
+                        f"{name} {s['critical_total_us'] / total_crit * 100:.0f}%"
+                        for name, s in top
+                    )
+                )
     return "\n".join(lines)

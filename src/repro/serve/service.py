@@ -125,7 +125,9 @@ class CacheService:
         await self.close()
 
     # -- live policy swap --------------------------------------------------
-    async def swap_policy(self, policy_factory: Callable[[int], CachePolicy]) -> None:
+    async def swap_policy(
+        self, policy_factory: Callable[[int], CachePolicy], span=None
+    ) -> None:
         """Hot-swap every shard's policy without stopping the service.
 
         Each shard performs the swap on its own worker task (queued behind
@@ -139,7 +141,7 @@ class CacheService:
         if not self._started:
             raise RuntimeError("CacheService.swap_policy before start()")
         await asyncio.gather(
-            *(shard.request_swap(policy_factory) for shard in self.shards)
+            *(shard.request_swap(policy_factory, span) for shard in self.shards)
         )
 
     # -- replication fill --------------------------------------------------
@@ -194,12 +196,16 @@ class CacheService:
     def shard_for(self, key) -> CacheShard:
         return self.shards[hash(key) % self._n]
 
-    async def get(self, req: Request) -> ServeOutcome:
+    async def get(self, req: Request, span=None) -> ServeOutcome:
         """Serve one request: route to its shard, await the outcome.
 
         Never raises for data-plane conditions — shedding and terminal
         origin failures come back as fields on the outcome, so one bad key
         can't unwind a caller driving thousands of concurrent gets.
+
+        ``span`` is the request's trace span (see :mod:`repro.obs.span`);
+        ``None`` — the default — keeps the path trace-free at the cost of
+        one branch per hook.
         """
         if not self._started:
             raise RuntimeError("CacheService.get before start() (use 'async with')")
@@ -207,7 +213,7 @@ class CacheService:
         m.requests.inc()
         shard = self.shards[hash(req.key) % self._n]
         m.queue_depth.observe(shard.queue.qsize())
-        return await shard.submit(req)
+        return await shard.submit(req, span)
 
     # -- introspection -----------------------------------------------------
     @property

@@ -52,14 +52,16 @@ class _SwapControl:
     Travels through the same queue as data requests, so the swap executes
     on the worker task *between* complete cache decisions — the policy is
     never observed mid-decision and no lock exists to take.  ``fut``
-    resolves with the new policy once the migration is done.
+    resolves with the new policy once the migration is done.  ``span``, if
+    any, parents the ``policy_swap`` span recorded around the migration.
     """
 
-    __slots__ = ("factory", "fut")
+    __slots__ = ("factory", "fut", "span")
 
-    def __init__(self, factory, fut: asyncio.Future):
+    def __init__(self, factory, fut: asyncio.Future, span=None):
         self.factory = factory
         self.fut = fut
+        self.span = span
 
 
 class _FillControl:
@@ -144,20 +146,29 @@ class CacheShard:
             await asyncio.gather(*list(self._fetch_tasks), return_exceptions=True)
 
     # -- request admission (caller side) -----------------------------------
-    def submit(self, req: Request) -> "asyncio.Future[ServeOutcome]":
+    def submit(self, req: Request, span=None) -> "asyncio.Future[ServeOutcome]":
         """Enqueue one request; never blocks.
 
         Returns a future resolving to the request's :class:`ServeOutcome`.
         A full queue sheds the request immediately (load shedding) — the
-        future resolves right away with ``shed=True``.
+        future resolves right away with ``shed=True``.  ``span``, if any,
+        is the request's trace span: a ``queue_wait`` child opens here and
+        closes when the worker pops the request.
         """
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        qspan = (
+            span.child("queue_wait", shard=self.shard_id)
+            if span is not None
+            else None
+        )
         try:
-            self.queue.put_nowait((req, fut))
+            self.queue.put_nowait((req, fut, span, qspan))
         except asyncio.QueueFull:
             self.shed_count += 1
             self.metrics.shed.inc()
             self._shed_counter.inc()
+            if qspan is not None:
+                qspan.end("shed")
             if self.probe is not None:
                 self.probe.emit("shed", key=req.key, shard=self.shard_id)
             fut.set_result(ServeOutcome(False, shed=True, shard=self.shard_id))
@@ -173,7 +184,7 @@ class CacheShard:
                 return
             if isinstance(item, _SwapControl):
                 try:
-                    self._swap(item.factory)
+                    self._swap(item.factory, item.span)
                 except Exception as exc:
                     if not item.fut.done():
                         item.fut.set_exception(exc)
@@ -196,9 +207,9 @@ class CacheShard:
                 finally:
                     queue.task_done()
                 continue
-            req, fut = item
+            req, fut, span, qspan = item
             try:
-                self._serve(req, fut)
+                self._serve(req, fut, span, qspan)
             except Exception as exc:  # a policy bug must not kill the shard
                 self.metrics.unhandled.inc()
                 if not fut.done():
@@ -208,10 +219,27 @@ class CacheShard:
             finally:
                 queue.task_done()
 
-    def _serve(self, req: Request, fut: asyncio.Future) -> None:
-        """One complete cache decision — synchronous, single-owner."""
+    def _serve(
+        self, req: Request, fut: asyncio.Future, span=None, qspan=None
+    ) -> None:
+        """One complete cache decision — synchronous, single-owner.
+
+        Span topology: ``qspan`` (opened in :meth:`submit`) closes here; a
+        ``policy`` child wraps the cache decision; a follower/late-hit gets
+        a ``flight_wait`` child closed when the flight resolves; the
+        single-flight *leader* instead parents the fetch task's
+        ``origin_fetch`` child — never both, so stage critical paths don't
+        double-count the same wall time.
+        """
+        if qspan is not None:
+            qspan.end()
         m = self.metrics
-        hit = self.policy.request(req)
+        if span is not None:
+            pspan = span.child("policy", shard=self.shard_id)
+            hit = self.policy.request(req)
+            pspan.end(hit=hit)
+        else:
+            hit = self.policy.request(req)
         if hit:
             m.hits.inc()
             pending = self.flight.join(req.key)
@@ -222,20 +250,30 @@ class CacheShard:
                 # Metadata is resident but the body is still on the wire
                 # from an earlier miss: wait for that same fetch.
                 m.coalesced.inc()
-                self._chain(pending, fut, hit=True, coalesced=True)
+                wspan = (
+                    span.child("flight_wait", coalesced=True)
+                    if span is not None
+                    else None
+                )
+                self._chain(pending, fut, hit=True, coalesced=True, wspan=wspan)
             return
         m.misses.inc()
         lease, leader = self.flight.lease(req.key)
+        wspan = None
         if leader:
-            task = asyncio.get_running_loop().create_task(self._fetch(req.key, req.size))
+            task = asyncio.get_running_loop().create_task(
+                self._fetch(req.key, req.size, span)
+            )
             self._fetch_tasks.add(task)
             task.add_done_callback(partial(self._on_fetch_done, req.key))
         else:
             m.coalesced.inc()
-        self._chain(lease, fut, hit=False, coalesced=not leader)
+            if span is not None:
+                wspan = span.child("flight_wait", coalesced=True)
+        self._chain(lease, fut, hit=False, coalesced=not leader, wspan=wspan)
 
     # -- live policy swap (worker side) ------------------------------------
-    def _swap(self, factory) -> None:
+    def _swap(self, factory, span=None) -> None:
         """Hot-swap the shard policy — runs on the worker task only.
 
         Mirrors :meth:`repro.tdc.node.StorageNode.swap_policy`: when both
@@ -246,6 +284,11 @@ class CacheShard:
         waiters resolve against the same generation regardless of which
         policy admitted the key.
         """
+        sspan = (
+            span.child("policy_swap", shard=self.shard_id)
+            if span is not None
+            else None
+        )
         old = self.policy
         new = factory(old.capacity)
         if isinstance(old, QueueCache) and isinstance(new, QueueCache):
@@ -253,16 +296,19 @@ class CacheShard:
             for node in old.queue.iter_lru():
                 new._miss(Request(clock, node.key, node.size))
         self.policy = new
+        migrated = len(new) if isinstance(new, QueueCache) else 0
+        if sspan is not None:
+            sspan.end(frm=old.name, to=new.name, migrated=migrated)
         if self.probe is not None:
             self.probe.emit(
                 "policy_switch",
                 shard=self.shard_id,
                 frm=old.name,
                 to=new.name,
-                migrated=len(new) if isinstance(new, QueueCache) else 0,
+                migrated=migrated,
             )
 
-    async def request_swap(self, factory) -> CachePolicy:
+    async def request_swap(self, factory, span=None) -> CachePolicy:
         """Ask the worker to swap policies; resolves once it has happened.
 
         Unlike :meth:`submit`, this *blocks* on a full queue rather than
@@ -270,7 +316,7 @@ class CacheShard:
         plane pressure.  Returns the new policy instance.
         """
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self.queue.put(_SwapControl(factory, fut))
+        await self.queue.put(_SwapControl(factory, fut, span))
         return await fut
 
     # -- replication fill (worker side) ------------------------------------
@@ -302,13 +348,21 @@ class CacheShard:
         return await fut
 
     def _chain(
-        self, lease: asyncio.Future, fut: asyncio.Future, hit: bool, coalesced: bool
+        self,
+        lease: asyncio.Future,
+        fut: asyncio.Future,
+        hit: bool,
+        coalesced: bool,
+        wspan=None,
     ) -> None:
         """Resolve ``fut`` from the flight's terminal :class:`FetchOutcome`."""
         shard_id = self.shard_id
         errors = self.metrics.errors
 
         def _done(f: asyncio.Future) -> None:
+            if wspan is not None:
+                outcome_early: FetchOutcome = f.result()
+                wspan.end("ok" if outcome_early.error is None else "error")
             if fut.done():  # caller went away (cancelled loadgen)
                 return
             outcome: FetchOutcome = f.result()
@@ -321,10 +375,15 @@ class CacheShard:
         lease.add_done_callback(_done)
 
     # -- origin fetch (leader task) ----------------------------------------
-    async def _fetch(self, key, size: int) -> None:
+    async def _fetch(self, key, size: int, span=None) -> None:
         m = self.metrics
         m.origin_fetches.inc()
         probe = self.probe
+        fspan = (
+            span.child("origin_fetch", shard=self.shard_id)
+            if span is not None
+            else None
+        )
         if probe is not None:
             probe.emit("fetch", key=key, size=size, shard=self.shard_id)
 
@@ -336,8 +395,14 @@ class CacheShard:
                 )
 
         outcome = await fetch_with_retry(
-            self.origin, key, size, self.retry, self._rng, on_retry
+            self.origin, key, size, self.retry, self._rng, on_retry, span=fspan
         )
+        if fspan is not None:
+            fspan.end(
+                "ok" if outcome.ok else "error",
+                attempts=outcome.attempts,
+                timeouts=outcome.timeouts,
+            )
         if outcome.timeouts:
             m.origin_timeouts.inc(outcome.timeouts)
         if outcome.ok:

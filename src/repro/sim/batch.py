@@ -339,6 +339,9 @@ class _BatchQueueCore:
         self.slot_next = np.full(n0, _INF, np.int64)
         self.map = Int64Map()
         self._policy = None  # set once a spill migrates state
+        #: Structural maintenance counters (surfaced on ``SimResult.obs``).
+        self.compactions = 0
+        self.spills = 0
 
     # -- capacity management ------------------------------------------------
     def _ensure(self, length: int) -> None:
@@ -370,6 +373,7 @@ class _BatchQueueCore:
         rel = self._live_rel()
         nlive = len(rel)
         assert nlive == self.resident, (nlive, self.resident)
+        self.compactions += 1
         base2 = self.next_slot  # fresh ids stay globally monotone
         self._ensure(nlive)
         self.slot_key[:nlive] = self.slot_key[rel]
@@ -385,6 +389,7 @@ class _BatchQueueCore:
 
     # -- spill: inconsistent per-key sizes -> reference policy ---------------
     def _spill(self) -> None:
+        self.spills += 1
         policy = self._policy_cls(self.capacity)
         rel = self._live_rel()
         # Ascending slot order is oldest-first; push_mru each in turn to
@@ -999,11 +1004,25 @@ def simulate_batch(
     the whole replay).  Memory stays bounded by chunk size + resident set
     regardless of trace length.
     """
+    from repro.obs.metrics import MetricsRegistry
+
     core = make_batch_policy(policy, cache_bytes) if isinstance(policy, str) else policy
     name = trace_name or _source_name(source)
     st = core.stats
     seen = 0
     snap = (0, 0, 0, 0)
+    # Batch cores never see individual requests, so per-event probes are
+    # impossible by design — instead each chunk boundary folds the stats
+    # *delta* into aggregate registry counters (the same instrument names
+    # the rich engine's RegistryRecorder maintains, minus per-event detail).
+    registry = MetricsRegistry()
+    c_req = registry.counter("sim_requests")
+    c_hit = registry.counter("sim_hits")
+    c_evict = registry.counter("sim_evictions")
+    c_compact = registry.counter("batch_compactions")
+    c_spill = registry.counter("batch_spills")
+    c_chunks = registry.counter("batch_chunks")
+    prev = (0, 0, 0, 0, 0)  # requests, hits, evictions, compactions, spills
     t_cpu0 = time.process_time()
     t0 = time.perf_counter()
     for times, keys, sizes in iter_source_chunks(source, chunk_size):
@@ -1019,6 +1038,20 @@ def simulate_batch(
             if seen + n == warmup:
                 snap = (st.hits, st.misses, st.bytes_hit, st.bytes_missed)
         seen += n
+        cur = (
+            st.requests,
+            st.hits,
+            st.evictions,
+            getattr(core, "compactions", 0),
+            getattr(core, "spills", 0),
+        )
+        c_req.inc(cur[0] - prev[0])
+        c_hit.inc(cur[1] - prev[1])
+        c_evict.inc(cur[2] - prev[2])
+        c_compact.inc(cur[3] - prev[3])
+        c_spill.inc(cur[4] - prev[4])
+        c_chunks.inc()
+        prev = cur
     elapsed = time.perf_counter() - t0
     cpu = time.process_time() - t_cpu0
     if warmup > 0 and seen <= warmup:
@@ -1045,4 +1078,5 @@ def simulate_batch(
         peak_alloc_bytes=0,
         metrics=metrics,
         policy_obj=core,
+        obs={"registry": registry.snapshot(), "chunks": int(c_chunks.value)},
     )

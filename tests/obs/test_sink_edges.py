@@ -1,0 +1,148 @@
+"""Sink edge cases: gzip round-trips, sink-ordering dataflow, and span
+streams surviving a replay that raises mid-trace."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import Probe
+from repro.obs.sinks import (
+    EVENT_SCHEMA,
+    SPAN_SCHEMA,
+    JSONLSink,
+    RegistryRecorder,
+    SnapshotEmitter,
+    SpanSink,
+)
+from repro.obs.span import TraceConfig, Tracer
+
+
+def _read_jsonl(path):
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "rt", encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh]
+
+
+class TestJSONLGzip:
+    def test_gz_suffix_writes_a_real_gzip_stream(self, tmp_path):
+        path = tmp_path / "events.jsonl.gz"
+        sink = JSONLSink(str(path))
+        sink.write({"event": "admit", "key": 1, "size": 10})
+        sink.close()
+        # The file must be actual gzip (magic bytes), not a plain file
+        # with a misleading name.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        records = _read_jsonl(path)
+        assert records[0] == {"event": "schema", "version": EVENT_SCHEMA}
+        assert records[1]["event"] == "admit"
+
+    def test_plain_and_gz_streams_carry_identical_records(self, tmp_path):
+        events = [{"event": "admit", "key": i, "size": i * 10} for i in range(5)]
+        plain, gz = tmp_path / "e.jsonl", tmp_path / "e.jsonl.gz"
+        for target in (plain, gz):
+            sink = JSONLSink(str(target))
+            for e in events:
+                sink.write(e)
+            sink.close()
+        assert _read_jsonl(plain) == _read_jsonl(gz)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JSONLSink(str(tmp_path / "e.jsonl"))
+        sink.close()
+        sink.close()  # second close must not raise
+
+    def test_span_sink_header_is_stream_tagged(self, tmp_path):
+        path = tmp_path / "spans.jsonl.gz"
+        SpanSink(str(path)).close()
+        (header,) = _read_jsonl(path)
+        assert header == {
+            "event": "schema",
+            "stream": "spans",
+            "version": SPAN_SCHEMA,
+        }
+
+
+class TestSinkOrdering:
+    def test_snapshot_after_recorder_sees_current_registry(self):
+        """Registration order is dataflow: recorder-then-emitter snapshots
+        include the event that triggered the snapshot."""
+        registry = MetricsRegistry()
+        recorder = RegistryRecorder(registry)
+        emitter = SnapshotEmitter(registry, every=2)
+        probe = Probe([recorder, emitter])
+        for t in range(1, 5):
+            probe.emit("admit", t=t, key=t, size=10)
+        assert len(emitter.snapshots) == 2
+        # Snapshot at t=2 must already count both admits folded so far.
+        snap = emitter.snapshots[0]
+        assert snap["t"] == 2
+        assert snap["registry"]["events"]["event=admit"]["value"] == 2
+
+    def test_snapshot_before_recorder_lags_one_event(self):
+        """The reversed order is a real (documented) footgun: the snapshot
+        fires before the triggering event is folded."""
+        registry = MetricsRegistry()
+        recorder = RegistryRecorder(registry)
+        emitter = SnapshotEmitter(registry, every=2)
+        probe = Probe([emitter, recorder])
+        for t in range(1, 3):
+            probe.emit("admit", t=t, key=t, size=10)
+        snap = emitter.snapshots[0]
+        assert snap["registry"]["events"]["event=admit"]["value"] == 1  # lags
+
+    def test_emitter_collapses_multiple_crossed_boundaries(self):
+        registry = MetricsRegistry()
+        emitter = SnapshotEmitter(registry, every=10)
+        emitter.write({"event": "admit", "t": 55})
+        assert len(emitter.snapshots) == 1
+        emitter.write({"event": "admit", "t": 56})
+        assert len(emitter.snapshots) == 1  # next boundary is 60
+        emitter.write({"event": "admit", "t": 60})
+        assert len(emitter.snapshots) == 2
+
+
+class TestSpanSinkMidTraceRaise:
+    def test_replay_raising_mid_trace_still_yields_complete_stream(self, tmp_path):
+        """A load loop that dies with open spans must still leave a
+        parseable span file: close() force-ends the opens as 'unclosed'
+        and tail-keeps the forced trace."""
+        path = tmp_path / "spans.jsonl.gz"
+        sink = SpanSink(str(path))
+        tracer = Tracer(sinks=[sink], config=TraceConfig(sample=0.0))
+
+        def replay():
+            root = tracer.start_trace("request", key=1)
+            root.child("queue_wait").end()
+            root.child("origin_fetch")  # left open...
+            raise RuntimeError("origin exploded")  # ...when the loop dies
+
+        with pytest.raises(RuntimeError):
+            replay()
+        tracer.close()
+
+        from repro.obs.tracereport import build_traces, read_spans
+
+        records = read_spans(str(path))
+        traces = build_traces(records)
+        assert len(traces) == 1
+        (spans,) = traces.values()
+        statuses = {r["name"]: r["status"] for r in spans}
+        assert statuses["queue_wait"] == "ok"
+        assert statuses["origin_fetch"] == "unclosed"
+        assert statuses["request"] == "unclosed"
+        assert all(r["end_ns"] is not None for r in spans)
+        assert tracer.unclosed_spans == 2
+
+    def test_close_with_no_open_traces_writes_nothing_extra(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = SpanSink(str(path))
+        tracer = Tracer(sinks=[sink])
+        tracer.start_trace().end()
+        tracer.close()
+        records = _read_jsonl(path)
+        assert len(records) == 2  # header + the one root span
+        assert tracer.unclosed_spans == 0

@@ -1,0 +1,170 @@
+"""Trace-report reader/renderer: parsing, tables, waterfalls, CLI."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.obs.sinks import SpanSink
+from repro.obs.span import TraceConfig, Tracer
+from repro.obs.tracereport import (
+    build_traces,
+    critical_path_totals,
+    format_trace_report,
+    format_waterfall,
+    pick_trace,
+    read_spans,
+    stage_table,
+)
+
+
+@pytest.fixture
+def span_file(tmp_path):
+    """Two real traces (one with an origin fetch, one hit-only)."""
+    path = str(tmp_path / "spans.jsonl.gz")
+    sink = SpanSink(path)
+    tracer = Tracer(sinks=[sink], config=TraceConfig(sample=1.0))
+    slow = tracer.start_trace("request", key=1)
+    q = slow.child("queue_wait", shard=0)
+    q.end()
+    f = slow.child("origin_fetch")
+    f.child("origin_attempt", attempt=1).end()
+    f.end()
+    slow.end(hit=False)
+    fast = tracer.start_trace("request", key=2)
+    fast.child("policy").end()
+    fast.end(hit=True)
+    tracer.close()
+    return path
+
+
+class TestReadSpans:
+    def test_round_trip(self, span_file):
+        records = read_spans(span_file)
+        assert len(records) == 6
+        assert all(r["kind"] == "span" for r in records)
+        traces = build_traces(records)
+        assert len(traces) == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_spans(str(tmp_path / "nope.jsonl"))
+
+    def test_wrong_stream_rejected(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "schema", "version": 1}\n')
+        with pytest.raises(ValueError, match="stream"):
+            read_spans(str(path))
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text(
+            '{"event": "schema", "stream": "spans", "version": 99}\n'
+        )
+        with pytest.raises(ValueError, match="version"):
+            read_spans(str(path))
+
+    def test_corrupt_line_rejected(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text(
+            '{"event": "schema", "stream": "spans", "version": 1}\n'
+            "not json at all\n"
+        )
+        with pytest.raises(ValueError):
+            read_spans(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_spans(str(path))
+
+
+class TestTables:
+    def test_stage_table_quantiles_are_exact(self, span_file):
+        rows = stage_table(read_spans(span_file))
+        by_stage = {r["stage"]: r for r in rows}
+        assert by_stage["request"]["count"] == 2
+        assert by_stage["origin_fetch"]["count"] == 1
+        for row in rows:
+            assert row["p50_us"] <= row["p90_us"] <= row["p99_us"] <= row["max_us"]
+
+    def test_critical_path_totals_sum_to_root_latency(self, span_file):
+        traces = build_traces(read_spans(span_file))
+        rows, total_root_us = critical_path_totals(traces)
+        assert total_root_us > 0
+        assert sum(r["total_us"] for r in rows) == pytest.approx(
+            total_root_us, rel=1e-6
+        )
+        assert sum(r["share"] for r in rows) == pytest.approx(1.0, rel=1e-6)
+
+    def test_pick_trace_returns_slowest_root(self, span_file):
+        traces = build_traces(read_spans(span_file))
+        picked = pick_trace(traces)
+        roots = {
+            tid: next(r for r in recs if r["parent"] is None)
+            for tid, recs in traces.items()
+        }
+        slowest = max(
+            roots, key=lambda t: roots[t]["end_ns"] - roots[t]["start_ns"]
+        )
+        assert picked == slowest
+
+
+class TestWaterfall:
+    def test_waterfall_renders_every_span_with_depth(self, span_file):
+        traces = build_traces(read_spans(span_file))
+        tid = pick_trace(traces)
+        text = format_waterfall(traces[tid])
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(traces[tid])  # title + one per span
+        assert "origin_attempt" in text
+        assert "=" in text  # bars actually drawn
+
+    def test_report_end_to_end(self, span_file):
+        report = format_trace_report(span_file, waterfalls=2)
+        assert "stage" in report
+        assert "critical path" in report
+        assert report.count("trace ") >= 2
+
+    def test_report_specific_trace(self, span_file):
+        traces = build_traces(read_spans(span_file))
+        tid = sorted(traces)[1]
+        report = format_trace_report(span_file, trace_id=str(tid))
+        assert f"trace {tid}" in report
+
+    def test_report_unknown_trace(self, span_file):
+        with pytest.raises(KeyError):
+            format_trace_report(span_file, trace_id="123456")
+
+
+class TestCLI:
+    def test_trace_report_command(self, span_file, capsys):
+        from repro.cli import main
+
+        assert main(["trace-report", span_file]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "request" in out
+
+    def test_trace_report_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace-report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such span stream" in capsys.readouterr().out
+
+    def test_trace_report_rejects_event_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "schema", "version": 1}\n')
+        assert main(["trace-report", str(path)]) == 2
+
+    def test_trace_report_table_only(self, span_file, capsys):
+        from repro.cli import main
+
+        assert main(["trace-report", span_file, "--waterfalls", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out

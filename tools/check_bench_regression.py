@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare one numeric metric between two bench JSON docs; exit 1 on a drop.
+
+Usage::
+
+    python tools/check_bench_regression.py \
+        --baseline BENCH_engine.committed.json \
+        --candidate BENCH_engine.json \
+        --metric headline.tps_batch \
+        --max-drop 0.15
+
+``--metric`` is a dotted path into the JSON document (list indices allowed:
+``results.0.tps``).  The check fails when the candidate value has dropped
+by more than ``--max-drop`` (a fraction) relative to the baseline.
+Higher-is-better is assumed; pass ``--lower-is-better`` for latency-style
+metrics, where the check instead fails on a >``max-drop`` *increase*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def resolve(doc, dotted: str):
+    node = doc
+    for part in dotted.split("."):
+        if isinstance(node, list):
+            node = node[int(part)]
+        elif isinstance(node, dict):
+            if part not in node:
+                raise KeyError(f"{dotted!r}: no key {part!r} (have {sorted(node)})")
+            node = node[part]
+        else:
+            raise KeyError(f"{dotted!r}: {part!r} reached a leaf {node!r}")
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise TypeError(f"{dotted!r} is {type(node).__name__}, not a number")
+    return float(node)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, help="committed reference JSON")
+    ap.add_argument("--candidate", required=True, help="freshly measured JSON")
+    ap.add_argument("--metric", required=True, help="dotted path, e.g. headline.tps_batch")
+    ap.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.15,
+        help="tolerated relative regression (fraction, default 0.15)",
+    )
+    ap.add_argument(
+        "--lower-is-better",
+        action="store_true",
+        help="treat increases (not drops) as regressions",
+    )
+    args = ap.parse_args(argv)
+    if not 0.0 < args.max_drop < 1.0:
+        print(f"--max-drop must be in (0, 1), got {args.max_drop}")
+        return 2
+
+    try:
+        with open(args.baseline) as fh:
+            base = resolve(json.load(fh), args.metric)
+        with open(args.candidate) as fh:
+            cand = resolve(json.load(fh), args.metric)
+    except (OSError, ValueError, KeyError, TypeError, IndexError) as exc:
+        print(f"cannot compare: {exc}")
+        return 2
+    if base <= 0:
+        print(f"baseline {args.metric} is {base}; nothing to compare against")
+        return 2
+
+    change = (cand - base) / base
+    regression = -change if not args.lower_is_better else change
+    verdict = "FAIL" if regression > args.max_drop else "ok"
+    print(
+        f"{args.metric}: baseline {base:,.2f} -> candidate {cand:,.2f} "
+        f"({change:+.1%}; tolerated regression {args.max_drop:.0%}) {verdict}"
+    )
+    return 1 if verdict == "FAIL" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
