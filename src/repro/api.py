@@ -30,6 +30,11 @@ The facade spans the five subsystems grown around the paper reproduction:
 * **cluster** — :class:`ClusterRouter` (+ :class:`ClusterConfig`,
   :func:`build_cluster`, :class:`FaultPlan`, :class:`Rebalancer`), the
   replicated multi-node cache front with failure injection;
+* **cache networks** — :class:`Topology` (+ :func:`tree_topology` /
+  :func:`fat_tree_topology` builders), the on-path placement registry
+  (:func:`make_placement` / :func:`available_placements`),
+  :class:`ZipfReceivers`, and :class:`NetEngine`, the multi-tier
+  edge→regional→origin replay engine (``docs/net_design.md``);
 * **observability** — :class:`ObsConfig`, :class:`MetricsRegistry` and
   :class:`Probe`, the shared instrumentation vocabulary; plus
   request-scoped tracing (:class:`Tracer`, :class:`TraceConfig`,
@@ -57,6 +62,14 @@ from repro.cluster.config import ClusterConfig, build_cluster
 from repro.cluster.faults import FaultPlan
 from repro.cluster.rebalance import Rebalancer
 from repro.cluster.router import ClusterRouter
+from repro.net.engine import NetEngine, NetResult
+from repro.net.placement import (
+    available_placements,
+    make_placement,
+    register_placement,
+)
+from repro.net.receivers import ZipfReceivers
+from repro.net.topology import Topology, fat_tree_topology, tree_topology
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import Probe
@@ -127,6 +140,16 @@ __all__ = [
     "build_cluster",
     "FaultPlan",
     "Rebalancer",
+    # cache networks
+    "Topology",
+    "tree_topology",
+    "fat_tree_topology",
+    "NetEngine",
+    "NetResult",
+    "ZipfReceivers",
+    "make_placement",
+    "available_placements",
+    "register_placement",
     # observability
     "ObsConfig",
     "MetricsRegistry",

@@ -267,6 +267,25 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
         if args.verify:
             reader.verify()
             print("checksum         OK (payload verified)")
+    if args.receivers:
+        if args.receivers < 1 or args.edges < 1:
+            print("--receivers and --edges must be >= 1")
+            return 2
+        from repro.net.bench import _edge_wss
+        from repro.net.receivers import ZipfReceivers, receiver_wss_from_bin
+
+        rx = ZipfReceivers(args.receivers, beta=args.receiver_beta, seed=args.seed)
+        rows = receiver_wss_from_bin(args.path, args.receivers, receivers=rx)
+        print(
+            f"per-edge WSS     {args.receivers} receivers "
+            f"(beta={args.receiver_beta}) on {args.edges} edges (SHARDS estimates)"
+        )
+        for row in _edge_wss(rows, args.edges):
+            print(
+                f"  {row['edge']:<7} {row['receivers']:3d} receivers "
+                f"rate={row['rate']:.3f} requests={row['requests']:,} "
+                f"wss={row['wss_lower_bytes']:,}..{row['wss_upper_bytes']:,} bytes"
+            )
     return 0
 
 
@@ -555,6 +574,71 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_net_bench(args: argparse.Namespace) -> int:
+    from repro.net.bench import format_net_doc, run_net_bench
+
+    try:
+        branching = tuple(
+            int(b.strip()) for b in args.branching.split(",") if b.strip()
+        )
+        placements = tuple(
+            p.strip().upper() for p in args.placements.split(",") if p.strip()
+        )
+        edge_policies = tuple(
+            p.strip() for p in args.edge_policies.split(",") if p.strip()
+        )
+    except ValueError:
+        print(f"--branching must be comma-separated ints, got {args.branching!r}")
+        return 2
+    if not branching or any(b < 1 for b in branching):
+        print(f"--branching factors must be >= 1, got {args.branching!r}")
+        return 2
+    if not placements or not edge_policies:
+        print("--placements and --edge-policies need at least one entry each")
+        return 2
+    if args.receivers < 1:
+        print(f"--receivers must be >= 1, got {args.receivers}")
+        return 2
+    if not 0.0 < args.kill_frac < args.restart_frac <= 1.0:
+        print(
+            "--kill-frac and --restart-frac must satisfy "
+            f"0 < kill < restart <= 1, got {args.kill_frac} / {args.restart_frac}"
+        )
+        return 2
+    try:
+        doc = run_net_bench(
+            trace=args.trace,
+            n_requests=args.requests,
+            branching=branching,
+            fraction=args.fraction,
+            edge_policies=edge_policies,
+            upper_policy=args.upper_policy,
+            placements=placements,
+            prob_p=args.prob_p,
+            n_receivers=args.receivers,
+            receiver_beta=args.receiver_beta,
+            kill_frac=args.kill_frac,
+            restart_frac=args.restart_frac,
+            window=args.window,
+            seed=args.seed,
+            output=args.output or None,
+            quick=args.quick,
+        )
+    except KeyError as exc:
+        print(str(exc).strip('"\''))
+        return 2
+    except ValueError as exc:
+        print(str(exc))
+        return 2
+    except OSError as exc:
+        print(f"cannot write {args.output}: {exc}")
+        return 2
+    print(format_net_doc(doc))
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -664,6 +748,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-read the payload and check it against the header checksum",
     )
+    t.add_argument(
+        "--receivers", type=int, default=0, metavar="N",
+        help="also stream the payload through N Zipf-rated receivers and "
+             "print per-edge SHARDS working-set estimates",
+    )
+    t.add_argument(
+        "--receiver-beta", type=float, default=0.8,
+        help="Zipf skew of the receiver request rates (0 = uniform)",
+    )
+    t.add_argument(
+        "--edges", type=int, default=8,
+        help="edge-node count the receivers attach to (receiver r -> edge r%%edges)",
+    )
+    t.add_argument("--seed", type=int, default=0, help="receiver assignment seed")
     t.set_defaults(trace_func=_cmd_trace_info)
 
     p = sub.add_parser("bench", help="engine replay micro-benchmark (legacy vs fast path)")
@@ -785,6 +883,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: 24k requests, 1k windows (~seconds)")
     p.set_defaults(func=_cmd_cluster_bench)
+
+    p = sub.add_parser(
+        "net-bench",
+        help="placement x edge-policy grid over a multi-tier cache tree + PoP kill",
+    )
+    p.add_argument("--trace", default="CDN-T", choices=["CDN-T", "CDN-W", "CDN-A"],
+                   help="named CDN workload replayed through the tree")
+    p.add_argument("-n", "--requests", type=int, default=120_000,
+                   help="trace length (--quick caps at 24000)")
+    p.add_argument("--branching", default="4,2",
+                   help="tree fan-in per tier, edge side first (4,2 = 8/2/1)")
+    p.add_argument("--fraction", type=float, default=0.15,
+                   help="total network capacity as WSS fraction")
+    p.add_argument("--edge-policies", default="LRU,GDSF,SCIP",
+                   help="comma-separated edge-tier policies to grid over")
+    p.add_argument("--upper-policy", default="LRU",
+                   help="policy for every non-edge tier")
+    p.add_argument("--placements", default="LCE,LCD,PROB",
+                   help="comma-separated on-path placement strategies")
+    p.add_argument("--prob-p", type=float, default=0.7,
+                   help="edge admit probability for PROB placement")
+    p.add_argument("--receivers", type=int, default=32,
+                   help="Zipf-rated receiver population size")
+    p.add_argument("--receiver-beta", type=float, default=0.8,
+                   help="Zipf skew of receiver request rates (0 = uniform)")
+    p.add_argument("--kill-frac", type=float, default=0.4,
+                   help="kill the busiest edge PoP at this fraction of the trace")
+    p.add_argument("--restart-frac", type=float, default=0.7,
+                   help="restart it (cold) at this fraction of the trace")
+    p.add_argument("--window", type=int, default=2_000,
+                   help="hit-ratio window size for dip/recovery measurement")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default="BENCH_net.json",
+                   help="result JSON path ('' to skip)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: 24k requests, 1k windows (~seconds)")
+    p.set_defaults(func=_cmd_net_bench)
 
     p = sub.add_parser("obs", help="render learner trajectories from a JSONL event stream")
     p.add_argument("events", help="events.jsonl[.gz] written by simulate --trace-out")

@@ -1,0 +1,369 @@
+"""NetEngine: trace replay over a cache network with on-path placement.
+
+The engine materialises one cache policy per :class:`~repro.net.topology.
+NetNode` (via the unified registry), attaches Zipf-rated receivers to the
+topology's edge nodes, and replays a trace one request at a time:
+
+1. **Route.**  The request's receiver (``ZipfReceivers.assign`` of the
+   request index) picks an edge node; :meth:`Topology.path` gives the
+   deterministic uplink chain to ``origin``.
+2. **Lookup walk** (bottom → top).  At each *live* cache node the engine
+   asks ``policy.contains(key)`` — a pure lookup, no admission side
+   effects.  The first hit is the serving point; a hit calls
+   ``policy.request(req)`` there so the policy counts it and applies its
+   own promotion logic (SCIP's smart promotion, LRU's MRU move, …).
+   Nothing below origin hit ⇒ origin fetch.
+3. **Placement walk** (top → bottom).  The response retraces the path;
+   the :class:`~repro.net.placement.PlacementStrategy` picks which
+   downstream caches admit a copy, and admission at a chosen node is that
+   node's own ``policy.request(req)`` — so SCIP's *insertion* bandit
+   decides MRU/LRU entry exactly as it would on a single cache.
+4. **Latency.**  Each link traversed costs ``latency_ms`` up,
+   ``latency_ms + transfer_ms(size)`` down; an edge hit is free.  A
+   ``slow`` fault adds its extra latency at every lookup on the degraded
+   node.  With no slow faults the request latency is exactly the sum of
+   its per-hop costs — a property the span tags pin
+   (``net_hop`` spans carry ``sim_ms``).
+
+Faults come from the cluster layer's :class:`~repro.cluster.faults.
+FaultPlan`, consumed by request offset.  A **killed** node is transparent:
+requests pay the hops through it but skip its lookup and never place
+copies there; its cache state is discarded on kill and rebuilt cold on
+restart.  Every request is always served — worst case from origin — so
+the served-error rate of a PoP-kill scenario is 0 by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.cache.registry import make_policy
+from repro.cluster.faults import FaultPlan
+from repro.net.placement import PlacementStrategy, make_placement
+from repro.net.receivers import ZipfReceivers
+from repro.net.topology import ORIGIN, Topology
+from repro.sim.request import Request
+
+__all__ = ["NetEngine", "NetResult"]
+
+
+@dataclass
+class NetResult:
+    """Aggregate outcome of one :meth:`NetEngine.run` replay."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    origin_fetches: int = 0
+    copies_placed: int = 0
+    errors: int = 0
+    latency_ms_sum: float = 0.0
+    hop_latency_ms_sum: float = 0.0
+    #: per-tier engine-side accounting: every request is counted at each
+    #: tier its lookup walk reaches, so ``hits / lookups`` is that tier's
+    #: local hit ratio with the same denominators ``repro.tdc`` uses.
+    tiers: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: 1 where the request was served from *some* cache (any tier) — the
+    #: windowed series the PoP-kill dip metrics are computed from.
+    hit_flags: bytearray = field(default_factory=bytearray)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency_ms_sum / self.requests if self.requests else 0.0
+
+    def tier_miss_ratios(self) -> Dict[str, float]:
+        """Local miss ratio per tier (misses over lookups *at* that tier)."""
+        out = {}
+        for tier, st in sorted(self.tiers.items()):
+            lookups = st["lookups"]
+            out[tier] = (lookups - st["hits"]) / lookups if lookups else 0.0
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "hit_ratio": self.hit_ratio,
+            "origin_fetches": self.origin_fetches,
+            "copies_placed": self.copies_placed,
+            "errors": self.errors,
+            "mean_latency_ms": self.mean_latency_ms,
+            "tier_miss_ratios": self.tier_miss_ratios(),
+            "tiers": {t: dict(st) for t, st in sorted(self.tiers.items())},
+        }
+
+
+class NetEngine:
+    """Replay traffic over a :class:`Topology` with a placement strategy.
+
+    Parameters
+    ----------
+    topology:
+        The (validated) cache graph; policies are materialised from its
+        per-node ``policy`` / ``policy_kwargs`` via the unified registry.
+    placement:
+        A :class:`PlacementStrategy` instance or a registry name
+        (``"LCE"`` / ``"LCD"`` / ``"PROB"``).
+    receivers:
+        A :class:`ZipfReceivers` population, or ``None`` for a single
+        receiver on the first edge.  Receiver ``r`` attaches to edge
+        ``edge_nodes[r % n_edges]``.
+    fault_plan:
+        Optional :class:`FaultPlan` consumed by request offset; unknown
+        node names are ignored (the never-raise pin).
+    registry:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; per-tier
+        lookup/hit/byte counters and the latency histogram land there.
+    probe:
+        Optional :class:`repro.obs.probe.Probe` for ``net_*`` events.
+    tracer:
+        Optional :class:`repro.obs.span.Tracer`; when set, every request
+        gets a ``request`` root with ``net_hop`` / ``tier_lookup`` /
+        ``placement`` children whose ``sim_ms`` tags carry the simulated
+        latency model (wall time on spans is meaningless here).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        placement: Union[str, PlacementStrategy] = "LCE",
+        receivers: Optional[ZipfReceivers] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        registry=None,
+        probe=None,
+        tracer=None,
+    ):
+        topology.validate()
+        self.topology = topology
+        self.placement = (
+            placement
+            if isinstance(placement, PlacementStrategy)
+            else make_placement(placement)
+        )
+        self.receivers = receivers
+        self.fault_plan = fault_plan
+        self.registry = registry
+        self.probe = probe
+        self.tracer = tracer
+
+        self.policies: Dict[str, object] = {
+            name: make_policy(node.policy, node.capacity, **node.policy_kwargs)
+            for name, node in topology.nodes.items()
+        }
+        self._tier = {name: node.tier for name, node in topology.nodes.items()}
+        self.edges: List[str] = topology.edge_nodes
+        self.dead: set = set()
+        self.slow_ms: Dict[str, float] = {}
+        self.clock = 0
+        self.result = NetResult(
+            tiers={
+                tier: {"lookups": 0, "hits": 0, "hit_bytes": 0, "lookup_bytes": 0}
+                for tier in topology.tiers()
+            }
+        )
+        if registry is not None:
+            self._c_lookups = {
+                t: registry.counter("net_tier_lookups", tier=t)
+                for t in topology.tiers()
+            }
+            self._c_hits = {
+                t: registry.counter("net_tier_hits", tier=t) for t in topology.tiers()
+            }
+            self._c_hit_bytes = {
+                t: registry.counter("net_tier_hit_bytes", tier=t)
+                for t in topology.tiers()
+            }
+            self._c_origin = registry.counter("net_origin_fetches")
+            self._c_copies = registry.counter("net_copies_placed")
+            self._h_latency = registry.histogram("net_request_latency_ms")
+        else:
+            self._h_latency = None
+
+    # -- faults ------------------------------------------------------------
+    def _apply_faults(self, offset: int) -> None:
+        plan = self.fault_plan
+        if plan is None or plan.exhausted:
+            return
+        for act in plan.due(offset):
+            node = act.node
+            if node not in self.policies and node not in self.dead:
+                continue  # unknown node: the plan never raises
+            if act.kind == "kill":
+                self.dead.add(node)
+                spec = self.topology.nodes[node]
+                # crash semantics: state is gone the moment it dies
+                self.policies[node] = make_policy(
+                    spec.policy, spec.capacity, **spec.policy_kwargs
+                )
+                if self.probe is not None:
+                    self.probe.emit("net_node_down", node=node, t=offset)
+            elif act.kind == "restart":
+                self.dead.discard(node)
+                if self.probe is not None:
+                    self.probe.emit("net_node_up", node=node, t=offset)
+            elif act.kind == "slow":
+                self.slow_ms[node] = act.extra_latency_s * 1e3
+            elif act.kind == "recover":
+                self.slow_ms.pop(node, None)
+
+    # -- the per-request walk ---------------------------------------------
+    def serve(self, req: Request) -> float:
+        """Serve one request; returns its simulated latency in ms."""
+        index = self.clock
+        self.clock += 1
+        self._apply_faults(index)
+        res = self.result
+        res.requests += 1
+
+        if self.receivers is not None:
+            receiver = self.receivers.assign(index)
+            edge = self.edges[receiver % len(self.edges)]
+        else:
+            receiver = 0
+            edge = self.edges[0]
+
+        key, size = req.key, req.size
+        links = self.topology.path(edge, key)
+        nodes = [edge] + [link.dst for link in links]  # ends with ORIGIN
+
+        root = None
+        if self.tracer is not None:
+            root = self.tracer.start_trace("request", edge=edge, receiver=receiver)
+
+        latency = 0.0
+        hop_latency = 0.0
+        serving_index = None  # position in `nodes` that served the request
+        slow = self.slow_ms
+        try:
+            for i, name in enumerate(nodes):
+                if name == ORIGIN:
+                    serving_index = i
+                    res.origin_fetches += 1
+                    if self.registry is not None:
+                        self._c_origin.inc()
+                    if self.probe is not None:
+                        self.probe.emit(
+                            "net_origin_fetch", key=key, size=size, edge=edge, t=index
+                        )
+                    break
+                if name in self.dead:
+                    continue
+                if slow and name in slow:
+                    latency += slow[name]
+                tier = self._tier[name]
+                st = res.tiers[tier]
+                st["lookups"] += 1
+                st["lookup_bytes"] += size
+                policy = self.policies[name]
+                hit = policy.contains(key)
+                if root is not None:
+                    span = root.child("tier_lookup", node=name, tier=tier)
+                    span.end(sim_ms=slow.get(name, 0.0), hit=hit)
+                if self.registry is not None:
+                    self._c_lookups[tier].inc()
+                if hit:
+                    policy.request(req)  # count + promote at the hit node
+                    st["hits"] += 1
+                    st["hit_bytes"] += size
+                    if self.registry is not None:
+                        self._c_hits[tier].inc()
+                        self._c_hit_bytes[tier].inc(size)
+                    if self.probe is not None:
+                        self.probe.emit(
+                            "net_tier_hit",
+                            key=key,
+                            size=size,
+                            node=name,
+                            tier=tier,
+                            t=index,
+                        )
+                    serving_index = i
+                    res.cache_hits += 1
+                    break
+            res.hit_flags.append(1 if nodes[serving_index] != ORIGIN else 0)
+
+            # latency: up to the serving point and back down, per link
+            for link in links[:serving_index]:
+                cost = 2.0 * link.latency_ms + link.transfer_ms(size)
+                hop_latency += cost
+                if root is not None:
+                    span = root.child("net_hop", src=link.src, dst=link.dst)
+                    span.end(sim_ms=cost)
+            latency += hop_latency
+
+            # placement: live caches strictly below the serving point,
+            # top -> bottom (the response's direction of travel)
+            downstream = [
+                n
+                for n in nodes[serving_index - 1 :: -1]
+                if n not in self.dead
+            ] if serving_index else []
+            placed = 0
+            if downstream:
+                copies = self.placement.copy_nodes(downstream, key, size, index)
+                for name in copies:
+                    self.policies[name].request(req)  # node's own admission
+                    placed += 1
+                res.copies_placed += placed
+                if self.registry is not None and placed:
+                    self._c_copies.inc(placed)
+                if self.probe is not None:
+                    self.probe.emit(
+                        "net_placement",
+                        key=key,
+                        size=size,
+                        strategy=self.placement.name,
+                        offered=len(downstream),
+                        placed=placed,
+                        t=index,
+                    )
+            if root is not None:
+                span = root.child("placement", strategy=self.placement.name)
+                span.end(sim_ms=0.0, placed=placed)
+        except Exception:
+            res.errors += 1
+            if root is not None:
+                root.end(status="error")
+            raise
+        res.latency_ms_sum += latency
+        res.hop_latency_ms_sum += hop_latency
+        if self._h_latency is not None:
+            self._h_latency.observe(latency)
+        if root is not None:
+            root.end(sim_ms=latency, status="ok")
+        return latency
+
+    # -- replay drivers ----------------------------------------------------
+    def run(self, trace) -> NetResult:
+        """Replay an in-memory trace (a ``Trace`` or request iterable)."""
+        for req in getattr(trace, "requests", trace):
+            self.serve(req)
+        return self.result
+
+    def run_bin(self, path, chunk_size: int = 1 << 20) -> NetResult:
+        """Stream a ``.bin`` trace through the engine chunk by chunk."""
+        from repro.traces.binfmt import BinTraceReader
+
+        with BinTraceReader(path) as reader:
+            for times, keys, sizes in reader.iter_chunks(chunk_size):
+                t_list = times.tolist()
+                k_list = keys.tolist()
+                s_list = sizes.tolist()
+                for t, k, s in zip(t_list, k_list, s_list):
+                    self.serve(Request(t, k, s))
+        return self.result
+
+    # -- introspection -----------------------------------------------------
+    def policy_stats(self, node: str):
+        """The live policy object for ``node`` (its own hit/miss counts)."""
+        return self.policies[node]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"NetEngine({self.topology!r}, placement={self.placement.name}, "
+            f"served={self.result.requests})"
+        )

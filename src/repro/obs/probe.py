@@ -38,6 +38,15 @@ event                emitted by
                      more dead owners (served by a replica or the origin)
 ``rebalance``        ``cluster.Rebalancer`` — ring membership changed
                      (node added/removed/replaced, optional warm handoff)
+``net_tier_hit``     ``net.NetEngine`` — lookup walk found the object at a
+                     cache node (serving point for this request)
+``net_origin_fetch`` ``net.NetEngine`` — no cache on the path had the
+                     object; served from origin
+``net_placement``    ``net.NetEngine`` — on-path placement decided which
+                     downstream caches admit a copy
+``net_node_down``    ``net.NetEngine`` — a PoP was killed by the fault
+                     plan (cache state discarded)
+``net_node_up``      ``net.NetEngine`` — a killed PoP restarted cold
 ==================== ==========================================================
 
 Every record carries ``seq`` (emission order) and, when the probe has a
@@ -74,6 +83,11 @@ PROBE_EVENTS = frozenset(
         "node_up",
         "failover",
         "rebalance",
+        "net_tier_hit",
+        "net_origin_fetch",
+        "net_placement",
+        "net_node_down",
+        "net_node_up",
     }
 )
 

@@ -1,0 +1,95 @@
+"""Placement-strategy semantics and the strategy registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.placement import (
+    LCD,
+    LCE,
+    PlacementStrategy,
+    ProbPlacement,
+    available_placements,
+    make_placement,
+    register_placement,
+)
+
+PATH = ["root0", "mid10", "edge0"]  # top -> bottom
+
+
+class TestBuiltins:
+    def test_lce_copies_everywhere(self):
+        assert LCE().copy_nodes(PATH, key=1, size=10, clock=0) == PATH
+
+    def test_lcd_copies_one_below_serving_point(self):
+        assert LCD().copy_nodes(PATH, key=1, size=10, clock=0) == ["root0"]
+
+    def test_lcd_empty_downstream(self):
+        assert LCD().copy_nodes([], key=1, size=10, clock=0) == []
+
+    def test_prob_subset_and_deterministic(self):
+        strat = ProbPlacement(p=0.7, seed=3)
+        for clock in range(200):
+            chosen = strat.copy_nodes(PATH, key=clock * 7, size=10, clock=clock)
+            assert set(chosen) <= set(PATH)
+            assert chosen == strat.copy_nodes(PATH, key=clock * 7, size=10, clock=clock)
+
+    def test_prob_varies_with_clock(self):
+        # Independent per-request decisions: the same key must not always
+        # get the same answer across requests.
+        strat = ProbPlacement(p=0.5, seed=0)
+        answers = {
+            tuple(strat.copy_nodes(PATH, key=42, size=10, clock=c))
+            for c in range(100)
+        }
+        assert len(answers) > 1
+
+    def test_prob_depth_gradient(self):
+        # The edge (deepest) must admit more often than the top node.
+        strat = ProbPlacement(p=0.7, seed=1)
+        counts = {name: 0 for name in PATH}
+        for clock in range(2_000):
+            for name in strat.copy_nodes(PATH, key=clock, size=10, clock=clock):
+                counts[name] += 1
+        assert counts["edge0"] > counts["mid10"] > counts["root0"]
+
+    def test_prob_validates_p(self):
+        with pytest.raises(ValueError, match="probability"):
+            ProbPlacement(p=0.0)
+        with pytest.raises(ValueError, match="probability"):
+            ProbPlacement(p=1.5)
+
+
+class TestRegistry:
+    def test_menu(self):
+        assert set(available_placements()) >= {"LCE", "LCD", "PROB"}
+
+    def test_make_placement_kwargs(self):
+        strat = make_placement("PROB", p=0.3, seed=7)
+        assert strat.p == 0.3 and strat.seed == 7
+
+    def test_unknown_name_lists_menu(self):
+        with pytest.raises(KeyError, match="unknown placement.*available"):
+            make_placement("nope")
+
+    def test_register_and_duplicate_guard(self):
+        class Nowhere(PlacementStrategy):
+            name = "NONE"
+
+            def copy_nodes(self, downstream, key, size, clock):
+                return []
+
+        register_placement("X-NONE", Nowhere)
+        try:
+            assert isinstance(make_placement("X-NONE"), Nowhere)
+            with pytest.raises(ValueError, match="already registered"):
+                register_placement("X-NONE", Nowhere)
+        finally:
+            from repro.net.placement import _PLACEMENTS
+
+            _PLACEMENTS.pop("X-NONE", None)
+
+    def test_as_dict_round_trips_knobs(self):
+        doc = ProbPlacement(p=0.4, seed=2).as_dict()
+        clone = make_placement(doc["name"], p=doc["p"], seed=doc["seed"])
+        assert clone.as_dict() == doc

@@ -1,0 +1,83 @@
+"""tdc ↔ net cross-validation: the satellite pin against silent divergence.
+
+The TDC cluster's OC→DC chain with write-on-miss **is** a two-node
+`repro.net` topology under LCE: every request checks OC then DC then
+origin, and both layers admit the object on the way back.  Expressing
+one layer in terms of the other and pinning the hit ratios means the two
+implementations cannot drift apart without a test going red.
+
+The per-node request *ordering* differs (TDC admits at OC before looking
+at DC; the net engine places copies after the lookup walk), but each
+node sees the identical per-request call sequence, so per-node policy
+state — and therefore hit counts — match exactly for deterministic
+policies.  The assertion is equality, with a small tolerance retained
+only to keep the pin robust to future float-ratio refactors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.registry import make_policy
+from repro.net.engine import NetEngine
+from repro.net.topology import ORIGIN, Topology
+from repro.tdc.cluster import TDCCluster
+from repro.traces.cdn import make_workload
+
+OC_CAP = 2_000_000
+DC_CAP = 8_000_000
+TOLERANCE = 1e-9
+
+
+def golden_trace():
+    return make_workload("CDN-T", n_requests=12_000, seed=11)
+
+
+def two_node_topology(policy: str) -> Topology:
+    topo = Topology()
+    topo.add_node("oc", OC_CAP, policy=policy, tier="oc")
+    topo.add_node("dc", DC_CAP, policy=policy, tier="dc")
+    topo.add_link("oc", "dc", 5.0)
+    topo.add_link("dc", ORIGIN, 50.0)
+    topo.validate()
+    return topo
+
+
+@pytest.mark.parametrize("policy", ["LRU", "SCIP"])
+class TestCrossValidation:
+    def test_lce_chain_reproduces_tdc_layer_miss_ratios(self, policy):
+        trace = golden_trace()
+
+        tdc = TDCCluster(
+            oc_nodes=1,
+            dc_nodes=1,
+            oc_capacity=OC_CAP,
+            dc_capacity=DC_CAP,
+            policy_factory=lambda cap: make_policy(policy, cap),
+        )
+        tdc.run(trace)
+        tdc_ratios = tdc.layer_miss_ratios()
+
+        eng = NetEngine(two_node_topology(policy), placement="LCE")
+        res = eng.run(trace)
+        net_ratios = res.tier_miss_ratios()
+
+        assert net_ratios["oc"] == pytest.approx(tdc_ratios["oc"], abs=TOLERANCE)
+        assert net_ratios["dc"] == pytest.approx(tdc_ratios["dc"], abs=TOLERANCE)
+        assert res.origin_fetches == tdc.origin_fetches
+
+    def test_per_node_policy_state_matches(self, policy):
+        trace = golden_trace()
+        tdc = TDCCluster(
+            1, 1, OC_CAP, DC_CAP, policy_factory=lambda cap: make_policy(policy, cap)
+        )
+        tdc.run(trace)
+        eng = NetEngine(two_node_topology(policy), placement="LCE")
+        eng.run(trace)
+
+        for net_name, tdc_node in (("oc", tdc.oc[0]), ("dc", tdc.dc[0])):
+            net_policy = eng.policies[net_name]
+            assert net_policy.stats.requests == tdc_node.policy.stats.requests
+            assert net_policy.stats.hits == tdc_node.policy.stats.hits
+            assert len(net_policy) == len(tdc_node.policy)
+            assert net_policy.used == tdc_node.policy.used

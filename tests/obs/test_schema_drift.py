@@ -110,5 +110,8 @@ class TestSchemaDrift:
             "replica_fill",
             "warm_handoff",
             "origin_direct",
+            "net_hop",
+            "tier_lookup",
+            "placement",
         }
         assert stages & PROBE_EVENTS == set()

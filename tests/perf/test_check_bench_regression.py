@@ -1,0 +1,80 @@
+"""The CI regression gate tool: dotted paths, repeatable metrics."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    Path(__file__).resolve().parents[2] / "tools" / "check_bench_regression.py",
+)
+tool = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(tool)
+
+
+@pytest.fixture
+def docs(tmp_path):
+    def write(name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    return write
+
+
+class TestResolve:
+    def test_dotted_path_with_list_index(self):
+        doc = {"results": [{"tps": 12.5}]}
+        assert tool.resolve(doc, "results.0.tps") == 12.5
+
+    def test_missing_key_names_alternatives(self):
+        with pytest.raises(KeyError, match="no key 'nope'"):
+            tool.resolve({"a": 1}, "nope")
+
+    def test_non_numeric_leaf_rejected(self):
+        with pytest.raises(TypeError, match="not a number"):
+            tool.resolve({"a": "fast"}, "a")
+
+
+class TestMain:
+    def test_single_metric_pass_and_fail(self, docs):
+        base = docs("base.json", {"headline": {"tps": 100.0}})
+        ok = docs("ok.json", {"headline": {"tps": 95.0}})
+        bad = docs("bad.json", {"headline": {"tps": 50.0}})
+        common = ["--metric", "headline.tps", "--max-drop", "0.15"]
+        assert tool.main(["--baseline", base, "--candidate", ok] + common) == 0
+        assert tool.main(["--baseline", base, "--candidate", bad] + common) == 1
+
+    def test_repeatable_metrics_worst_verdict_wins(self, docs):
+        base = docs("base.json", {"a": 100.0, "b": 100.0})
+        cand = docs("cand.json", {"a": 99.0, "b": 10.0})
+        argv = [
+            "--baseline", base, "--candidate", cand,
+            "--metric", "a", "--metric", "b", "--max-drop", "0.15",
+        ]
+        assert tool.main(argv) == 1
+        good = docs("good.json", {"a": 99.0, "b": 101.0})
+        argv = [
+            "--baseline", base, "--candidate", good,
+            "--metric", "a", "--metric", "b", "--max-drop", "0.15",
+        ]
+        assert tool.main(argv) == 0
+
+    def test_lower_is_better(self, docs):
+        base = docs("base.json", {"lat": 10.0})
+        worse = docs("worse.json", {"lat": 20.0})
+        argv = [
+            "--baseline", base, "--candidate", worse,
+            "--metric", "lat", "--max-drop", "0.15", "--lower-is-better",
+        ]
+        assert tool.main(argv) == 1
+
+    def test_unknown_metric_is_config_error(self, docs):
+        base = docs("base.json", {"a": 1.0})
+        cand = docs("cand.json", {"a": 1.0})
+        argv = ["--baseline", base, "--candidate", cand, "--metric", "zz"]
+        assert tool.main(argv) == 2

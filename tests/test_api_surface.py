@@ -49,6 +49,10 @@ class TestApiSurface:
             "CacheService",      # serving
             "Orchestrator",      # orchestration
             "ClusterRouter",     # cluster
+            "NetEngine",         # cache networks
+            "Topology",          # cache networks
+            "make_placement",    # cache networks
+            "ZipfReceivers",     # cache networks
             "ObsConfig",         # observability
         ):
             assert name in repro.api.__all__

@@ -10,10 +10,13 @@ Usage::
         --max-drop 0.15
 
 ``--metric`` is a dotted path into the JSON document (list indices allowed:
-``results.0.tps``).  The check fails when the candidate value has dropped
-by more than ``--max-drop`` (a fraction) relative to the baseline.
-Higher-is-better is assumed; pass ``--lower-is-better`` for latency-style
-metrics, where the check instead fails on a >``max-drop`` *increase*.
+``results.0.tps``) and is repeatable — every given metric is checked and
+the worst verdict wins, so one invocation can gate several headline
+numbers of the same doc.  The check fails when a candidate value has
+dropped by more than ``--max-drop`` (a fraction) relative to the
+baseline.  Higher-is-better is assumed; pass ``--lower-is-better`` for
+latency-style metrics, where the check instead fails on a >``max-drop``
+*increase* (the flag applies to every metric in the invocation).
 """
 
 from __future__ import annotations
@@ -43,7 +46,12 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True, help="committed reference JSON")
     ap.add_argument("--candidate", required=True, help="freshly measured JSON")
-    ap.add_argument("--metric", required=True, help="dotted path, e.g. headline.tps_batch")
+    ap.add_argument(
+        "--metric",
+        required=True,
+        action="append",
+        help="dotted path, e.g. headline.tps_batch (repeatable; all must pass)",
+    )
     ap.add_argument(
         "--max-drop",
         type=float,
@@ -62,24 +70,33 @@ def main(argv=None) -> int:
 
     try:
         with open(args.baseline) as fh:
-            base = resolve(json.load(fh), args.metric)
+            base_doc = json.load(fh)
         with open(args.candidate) as fh:
-            cand = resolve(json.load(fh), args.metric)
-    except (OSError, ValueError, KeyError, TypeError, IndexError) as exc:
+            cand_doc = json.load(fh)
+    except (OSError, ValueError) as exc:
         print(f"cannot compare: {exc}")
         return 2
-    if base <= 0:
-        print(f"baseline {args.metric} is {base}; nothing to compare against")
-        return 2
 
-    change = (cand - base) / base
-    regression = -change if not args.lower_is_better else change
-    verdict = "FAIL" if regression > args.max_drop else "ok"
-    print(
-        f"{args.metric}: baseline {base:,.2f} -> candidate {cand:,.2f} "
-        f"({change:+.1%}; tolerated regression {args.max_drop:.0%}) {verdict}"
-    )
-    return 1 if verdict == "FAIL" else 0
+    failed = False
+    for metric in args.metric:
+        try:
+            base = resolve(base_doc, metric)
+            cand = resolve(cand_doc, metric)
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            print(f"cannot compare: {exc}")
+            return 2
+        if base <= 0:
+            print(f"baseline {metric} is {base}; nothing to compare against")
+            return 2
+        change = (cand - base) / base
+        regression = -change if not args.lower_is_better else change
+        verdict = "FAIL" if regression > args.max_drop else "ok"
+        failed = failed or verdict == "FAIL"
+        print(
+            f"{metric}: baseline {base:,.2f} -> candidate {cand:,.2f} "
+            f"({change:+.1%}; tolerated regression {args.max_drop:.0%}) {verdict}"
+        )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
