@@ -39,7 +39,19 @@ The facade spans the five subsystems grown around the paper reproduction:
   :class:`Probe`, the shared instrumentation vocabulary; plus
   request-scoped tracing (:class:`Tracer`, :class:`TraceConfig`,
   :class:`SpanSink`) with SLO accounting (:class:`SLO`,
-  :class:`SLOTracker`).
+  :class:`SLOTracker`);
+* **multi-tenancy** — :class:`TenantPartitionedCache` (per-tenant byte
+  quotas inside one policy slot), :class:`TenantMRCEstimator` (SHARDS-
+  sampled live miss-ratio curves), :class:`CapacityAllocator`
+  (waterfilling over MRC marginal gains, gated by
+  :class:`HysteresisGate`), and :class:`TenancyController`, the online
+  loop that watches per-tenant SLO burn and re-splits capacity
+  (``docs/tenancy_design.md``); tenant-tagged traces come from
+  :func:`multi_tenant_trace` with key namespaces of :data:`TENANT_STRIDE`;
+* **benchmarks** — the unified ``repro bench <target>`` surface:
+  :func:`run_bench` over :func:`bench_registry`'s :class:`BenchSpec`
+  rows, every artifact a schema-versioned :class:`BenchResult` envelope
+  (:data:`BENCH_RESULT_SCHEMA`) with the run manifest embedded.
 
 Quickstart::
 
@@ -52,6 +64,13 @@ Quickstart::
 
 from __future__ import annotations
 
+from repro.bench import (
+    BENCH_RESULT_SCHEMA,
+    BenchResult,
+    BenchSpec,
+    bench_registry,
+    run_bench,
+)
 from repro.cache.registry import (
     available_policies,
     make_policy,
@@ -75,7 +94,11 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import Probe
 from repro.obs.sinks import SpanSink
 from repro.obs.span import SLO, SLOTracker, TraceConfig, Tracer
-from repro.orchestrate.controller import ControllerConfig, Orchestrator
+from repro.orchestrate.controller import (
+    ControllerConfig,
+    HysteresisGate,
+    Orchestrator,
+)
 from repro.serve.origin import OriginConfig, RetryPolicy, SimulatedOrigin
 from repro.serve.service import CacheService
 from repro.sim.batch import (
@@ -94,8 +117,14 @@ from repro.traces.binfmt import (
     read_bin,
     write_bin,
 )
+from repro.tenancy import (
+    CapacityAllocator,
+    TenancyController,
+    TenantMRCEstimator,
+    TenantPartitionedCache,
+)
 from repro.traces.cdn import make_workload, workload_to_bin
-from repro.traces.drift import make_drift_trace
+from repro.traces.drift import TENANT_STRIDE, make_drift_trace, multi_tenant_trace
 from repro.traces.streaming import StreamSpec, make_stream_spec, stream_to_bin
 
 __all__ = [
@@ -159,4 +188,18 @@ __all__ = [
     "SpanSink",
     "SLO",
     "SLOTracker",
+    # multi-tenancy
+    "TenantPartitionedCache",
+    "TenantMRCEstimator",
+    "CapacityAllocator",
+    "TenancyController",
+    "HysteresisGate",
+    "multi_tenant_trace",
+    "TENANT_STRIDE",
+    # unified benchmarks
+    "run_bench",
+    "bench_registry",
+    "BenchSpec",
+    "BenchResult",
+    "BENCH_RESULT_SCHEMA",
 ]

@@ -189,6 +189,32 @@ class CachePolicy(ABC):
             for req in requests:
                 append(request(req))
 
+    # -- resident-set portability -------------------------------------------
+    def export_residents(self):
+        """Yield ``(key, size)`` for every resident object, coldest first.
+
+        The duck-typed warm-handoff/migration protocol: live policy swaps
+        (:meth:`repro.serve.shard.CacheShard._swap`) and cluster warm
+        handoffs replay the exported pairs into the successor via
+        :meth:`import_resident`, so composite policies (per-tenant
+        partitions) migrate state without the caller knowing their
+        internals.  The base class has no resident structure to walk and
+        exports nothing — migration degrades to a cold start, which is the
+        pre-protocol behaviour for non-queue policies.
+        """
+        return iter(())
+
+    def import_resident(self, key: int, size: int) -> bool:
+        """Admit one exported object without recording a hit or miss.
+
+        Migration is opt-in: the base class refuses, so swapping onto a
+        policy with no migration story (priority structures whose state a
+        bare ``(key, size)`` pair cannot reconstruct) stays a cold
+        restart — the pre-protocol behaviour.  Queue policies and
+        composite partitions override.
+        """
+        return False
+
     # -- introspection ----------------------------------------------------------
     def __len__(self) -> int:
         """Number of resident objects (subclasses with queues override)."""
@@ -475,6 +501,25 @@ class QueueCache(CachePolicy):
     def resident_keys(self) -> list:
         """Keys MRU → LRU (diagnostics / tests)."""
         return self.queue.keys()
+
+    def export_residents(self):
+        """Yield ``(key, size)`` LRU → MRU: replaying the export through
+        :meth:`import_resident` reconstructs recency order in the
+        successor."""
+        for node in self.queue.iter_lru():
+            yield node.key, node.size
+
+    def import_resident(self, key: int, size: int) -> bool:
+        """Admit one exported object through the normal miss path.
+
+        No hit/miss is recorded — a migration is not traffic.  Returns
+        ``True`` if the object was admitted (``False``: already resident
+        or larger than the cache).
+        """
+        if size > self.capacity or self._lookup(key):
+            return False
+        self._miss(Request(self.clock, key, size))
+        return True
 
     def check_invariants(self) -> None:
         """Structural self-check used by property tests."""

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eleven subcommands mirror the library's workflow::
+The subcommands mirror the library's workflow::
 
     python -m repro simulate    --policy SCIP --workload CDN-T --fraction 0.02 \\
                                 [--trace-file big.bin --batch] \\
@@ -9,12 +9,8 @@ Eleven subcommands mirror the library's workflow::
     python -m repro workload    --name CDN-W -n 50000 -o cdnw.tr [--analyze]
     python -m repro trace       gen|convert|info ... (binary trace files)
     python -m repro report      [--scale bench] -o EXPERIMENTS.md
-    python -m repro bench       [--quick] [-o BENCH_engine.json]
-    python -m repro serve-bench [--quick] [--shards 4] [-o BENCH_serve.json]
-    python -m repro orchestrate-bench [--quick] [--trace diurnal] \\
-                                [-o BENCH_orchestrate.json]
-    python -m repro cluster-bench [--quick] [--nodes 3] [--replications 1,2] \\
-                                [-o BENCH_cluster.json]
+    python -m repro bench       engine|serve|orchestrate|cluster|net|tenancy \\
+                                [--quick] [--seed N] [-o BENCH_<target>.json]
     python -m repro obs         events.jsonl [--rows 24]
     python -m repro trace-report spans.jsonl [--trace ID] [--waterfalls 1]
 
@@ -24,20 +20,25 @@ manifest), and with ``--batch`` streams ``.bin`` traces through the
 array-backed batch engine at paper scale; `experiment` prints a paper
 table; `workload` generates/analyses/saves traces; `trace` generates,
 converts (text<->binary, streaming both ways), and inspects binary trace
-files; `report` regenerates the full
-paper-vs-measured document; `bench` measures engine replay throughput
-(legacy vs fast path) and persists the perf trajectory; `serve-bench`
-runs the concurrent asyncio cache service plus its closed-loop load
-generator in one process (coalescing, backpressure, origin latency) and
-writes ``BENCH_serve.json``; `orchestrate-bench` runs the shadow-cache
-policy orchestrator against every fixed candidate on a nonstationary
-drift trace and writes ``BENCH_orchestrate.json``; `cluster-bench`
-replays a drift trace through the replicated multi-node cluster while
-killing and restarting the busiest node, once per replication factor,
-and writes ``BENCH_cluster.json``; `obs` reads an event stream back into
-the ω_m/ω_l and λ learner trajectories; `trace-report` renders per-stage
-latency tables, critical-path breakdowns, and span waterfalls from the
-stream ``--span-out`` records on the serving benches.
+files; `report` regenerates the full paper-vs-measured document; `obs`
+reads an event stream back into the ω_m/ω_l and λ learner trajectories;
+`trace-report` renders per-stage latency tables, critical-path
+breakdowns, and span waterfalls from the stream ``--span-out`` records
+on the serving benches.
+
+`bench <target>` drives every benchmark through one registry
+(:func:`repro.bench.bench_registry`) with uniform ``--quick`` /
+``--seed`` / ``-o`` conventions, and always persists the **unified
+envelope** (:data:`repro.bench.BENCH_RESULT_SCHEMA`: top-level
+``schema`` / ``target`` / ``config`` / ``results`` / ``manifest``)
+rather than the per-target legacy layout.  Targets: ``engine`` (replay
+micro-benchmark), ``serve`` (asyncio cache service + load generator),
+``orchestrate`` (shadow-cache policy switching), ``cluster``
+(replication under faults), ``net`` (cache-tree placement grid), and
+``tenancy`` (online multi-tenant capacity allocation).  The retired
+spellings — bare ``bench``, ``serve-bench``, ``orchestrate-bench``,
+``cluster-bench``, ``net-bench`` — still parse but emit a
+``DeprecationWarning`` and forward to the corresponding target.
 
 Policy names everywhere come from the unified registry
 (:func:`repro.cache.registry.available_policies`); every subcommand exits
@@ -48,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional
 
 __all__ = ["main"]
@@ -405,28 +407,48 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import format_bench, run_engine_bench
+def _run_unified_bench(target: str, args: argparse.Namespace, **kwargs) -> int:
+    """Drive one registry target through :func:`repro.bench.run_bench`,
+    print its human summary, and persist the unified envelope."""
+    from repro.bench import bench_registry, run_bench
 
-    doc = run_engine_bench(
+    spec = bench_registry()[target]
+    try:
+        result = run_bench(
+            target,
+            output=args.output or None,
+            quick=args.quick,
+            seed=getattr(args, "seed", None),
+            **kwargs,
+        )
+    except KeyError as exc:
+        print(str(exc).strip('"\''))
+        return 2
+    except ValueError as exc:
+        print(str(exc))
+        return 2
+    except OSError as exc:
+        print(f"cannot write {args.output}: {exc}")
+        return 2
+    print(spec.formatter(result.legacy_doc()))
+    if result.path:
+        print(f"wrote {result.path}")
+    return 0
+
+
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    return _run_unified_bench(
+        "engine",
+        args,
         policies=[p.strip() for p in args.policies.split(",") if p.strip()],
         workload=args.workload,
         n_requests=args.requests,
         fraction=args.fraction,
         repeats=args.repeats,
-        output=args.output,
-        quick=args.quick,
     )
-    print(format_bench(doc))
-    if args.output:
-        print(f"wrote {args.output}")
-    return 0
 
 
-def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    from repro.serve.loadgen import run_serve_bench
-    from repro.serve.results import format_serve_doc
-
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}")
         return 2
@@ -447,39 +469,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         ),
         "failure_rate": args.failure_rate,
     }
-    try:
-        doc = run_serve_bench(
-            output=args.output or None,
-            quick=args.quick,
-            policy=args.policy,
-            fraction=args.fraction,
-            n_shards=args.shards,
-            queue_depth=args.queue_depth,
-            timeout=args.timeout,
-            max_retries=args.max_retries,
-            seed=args.seed,
-            trace_sample=args.trace_sample,
-            span_out=args.span_out or None,
-            tail_latency_us=(
-                args.tail_latency_ms * 1000.0 if args.tail_latency_ms is not None else None
-            ),
-            **{k: v for k, v in knobs.items() if v is not None},
-        )
-    except KeyError as exc:
-        print(str(exc).strip('"\''))
-        return 2
-    except OSError as exc:
-        print(f"cannot write {args.output}: {exc}")
-        return 2
-    print(format_serve_doc(doc))
-    if args.output:
-        print(f"wrote {args.output}")
-    return 0
+    return _run_unified_bench(
+        "serve",
+        args,
+        policy=args.policy,
+        fraction=args.fraction,
+        n_shards=args.shards,
+        queue_depth=args.queue_depth,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        trace_sample=args.trace_sample,
+        span_out=args.span_out or None,
+        tail_latency_us=(
+            args.tail_latency_ms * 1000.0 if args.tail_latency_ms is not None else None
+        ),
+        **{k: v for k, v in knobs.items() if v is not None},
+    )
 
 
-def _cmd_orchestrate_bench(args: argparse.Namespace) -> int:
-    from repro.orchestrate.bench import format_orchestrate_doc, run_orchestrate_bench
-
+def _cmd_bench_orchestrate(args: argparse.Namespace) -> int:
     candidates = tuple(c.strip() for c in args.candidates.split(",") if c.strip())
     if len(candidates) < 2:
         print("--candidates needs at least two policy names")
@@ -487,37 +495,23 @@ def _cmd_orchestrate_bench(args: argparse.Namespace) -> int:
     if not 0.0 < args.sample_rate <= 1.0:
         print(f"--sample-rate must be in (0, 1], got {args.sample_rate}")
         return 2
-    try:
-        doc = run_orchestrate_bench(
-            trace=args.trace,
-            n_requests=args.requests,
-            fraction=args.fraction,
-            candidates=candidates,
-            sample_rate=args.sample_rate,
-            window=args.window,
-            hysteresis=args.hysteresis,
-            min_gap=args.min_gap,
-            cooldown=args.cooldown,
-            objective=args.objective,
-            seed=args.seed,
-            output=args.output or None,
-            quick=args.quick,
-        )
-    except KeyError as exc:
-        print(str(exc).strip('"\''))
-        return 2
-    except OSError as exc:
-        print(f"cannot write {args.output}: {exc}")
-        return 2
-    print(format_orchestrate_doc(doc))
-    if args.output:
-        print(f"wrote {args.output}")
-    return 0
+    return _run_unified_bench(
+        "orchestrate",
+        args,
+        trace=args.trace,
+        n_requests=args.requests,
+        fraction=args.fraction,
+        candidates=candidates,
+        sample_rate=args.sample_rate,
+        window=args.window,
+        hysteresis=args.hysteresis,
+        min_gap=args.min_gap,
+        cooldown=args.cooldown,
+        objective=args.objective,
+    )
 
 
-def _cmd_cluster_bench(args: argparse.Namespace) -> int:
-    from repro.cluster.bench import format_cluster_doc, run_cluster_bench
-
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     if args.nodes < 1:
         print(f"--nodes must be >= 1, got {args.nodes}")
         return 2
@@ -544,39 +538,25 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     if not 0.0 <= args.trace_sample <= 1.0:
         print(f"--trace-sample must be in [0, 1], got {args.trace_sample}")
         return 2
-    try:
-        doc = run_cluster_bench(
-            trace=args.trace,
-            n_requests=args.requests,
-            n_nodes=args.nodes,
-            policy=args.policy,
-            fraction=args.fraction,
-            n_shards=args.shards,
-            kill_frac=args.kill_frac,
-            restart_frac=args.restart_frac,
-            window=args.window,
-            replications=replications,
-            seed=args.seed,
-            trace_sample=args.trace_sample,
-            span_out=args.span_out or None,
-            output=args.output or None,
-            quick=args.quick,
-        )
-    except KeyError as exc:
-        print(str(exc).strip('"\''))
-        return 2
-    except OSError as exc:
-        print(f"cannot write {args.output}: {exc}")
-        return 2
-    print(format_cluster_doc(doc))
-    if args.output:
-        print(f"wrote {args.output}")
-    return 0
+    return _run_unified_bench(
+        "cluster",
+        args,
+        trace=args.trace,
+        n_requests=args.requests,
+        n_nodes=args.nodes,
+        policy=args.policy,
+        fraction=args.fraction,
+        n_shards=args.shards,
+        kill_frac=args.kill_frac,
+        restart_frac=args.restart_frac,
+        window=args.window,
+        replications=replications,
+        trace_sample=args.trace_sample,
+        span_out=args.span_out or None,
+    )
 
 
-def _cmd_net_bench(args: argparse.Namespace) -> int:
-    from repro.net.bench import format_net_doc, run_net_bench
-
+def _cmd_bench_net(args: argparse.Namespace) -> int:
     try:
         branching = tuple(
             int(b.strip()) for b in args.branching.split(",") if b.strip()
@@ -605,38 +585,56 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
             f"0 < kill < restart <= 1, got {args.kill_frac} / {args.restart_frac}"
         )
         return 2
-    try:
-        doc = run_net_bench(
-            trace=args.trace,
-            n_requests=args.requests,
-            branching=branching,
-            fraction=args.fraction,
-            edge_policies=edge_policies,
-            upper_policy=args.upper_policy,
-            placements=placements,
-            prob_p=args.prob_p,
-            n_receivers=args.receivers,
-            receiver_beta=args.receiver_beta,
-            kill_frac=args.kill_frac,
-            restart_frac=args.restart_frac,
-            window=args.window,
-            seed=args.seed,
-            output=args.output or None,
-            quick=args.quick,
+    return _run_unified_bench(
+        "net",
+        args,
+        trace=args.trace,
+        n_requests=args.requests,
+        branching=branching,
+        fraction=args.fraction,
+        edge_policies=edge_policies,
+        upper_policy=args.upper_policy,
+        placements=placements,
+        prob_p=args.prob_p,
+        n_receivers=args.receivers,
+        receiver_beta=args.receiver_beta,
+        kill_frac=args.kill_frac,
+        restart_frac=args.restart_frac,
+        window=args.window,
+    )
+
+
+def _cmd_bench_tenancy(args: argparse.Namespace) -> int:
+    tenants = tuple(t.strip() for t in args.tenants.split(",") if t.strip())
+    if len(tenants) < 2:
+        print("--tenants needs at least two trace families")
+        return 2
+    if not 0.0 < args.mr_slo < 1.0:
+        print(f"--mr-slo must be in (0, 1), got {args.mr_slo}")
+        return 2
+    if not 0.0 < args.sample_rate <= 1.0:
+        print(f"--sample-rate must be in (0, 1], got {args.sample_rate}")
+        return 2
+    if not 0.0 <= args.min_share <= 1.0 / len(tenants):
+        print(
+            f"--min-share must be in [0, 1/{len(tenants)}], got {args.min_share}"
         )
-    except KeyError as exc:
-        print(str(exc).strip('"\''))
         return 2
-    except ValueError as exc:
-        print(str(exc))
-        return 2
-    except OSError as exc:
-        print(f"cannot write {args.output}: {exc}")
-        return 2
-    print(format_net_doc(doc))
-    if args.output:
-        print(f"wrote {args.output}")
-    return 0
+    return _run_unified_bench(
+        "tenancy",
+        args,
+        tenants=tenants,
+        n_requests=args.requests,
+        fraction=args.fraction,
+        mr_slo=args.mr_slo,
+        burn_threshold=args.burn_threshold,
+        objective=args.objective,
+        sample_rate=args.sample_rate,
+        window=args.window,
+        cooldown=args.cooldown,
+        eval_every=args.eval_every,
+        min_share=args.min_share,
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -764,18 +762,29 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--seed", type=int, default=0, help="receiver assignment seed")
     t.set_defaults(trace_func=_cmd_trace_info)
 
-    p = sub.add_parser("bench", help="engine replay micro-benchmark (legacy vs fast path)")
+    p = sub.add_parser(
+        "bench",
+        help="run one registered bench target; writes the unified envelope "
+        "(schema BENCH_RESULT_SCHEMA) to BENCH_<target>.json",
+    )
+    bsub = p.add_subparsers(dest="bench_target", required=True)
+
+    p = bsub.add_parser(
+        "engine", help="engine replay micro-benchmark (legacy vs fast path)"
+    )
     p.add_argument("--policies", default="LRU,ARC,SCIP", help="comma-separated policy names")
     p.add_argument("--workload", default="CDN-T", choices=["CDN-T", "CDN-W", "CDN-A"])
     p.add_argument("-n", "--requests", type=int, default=200_000)
     p.add_argument("--fraction", type=float, default=0.02, help="cache size as WSS fraction")
     p.add_argument("--repeats", type=int, default=3, help="timing repeats, best-of")
+    p.add_argument("--seed", type=int, default=None,
+                   help="workload seed (default: the workload's fixed seed)")
     p.add_argument("-o", "--output", default="BENCH_engine.json", help="result JSON path ('' to skip)")
     p.add_argument("--quick", action="store_true", help="CI smoke mode: 30k requests, 1 repeat")
-    p.set_defaults(func=_cmd_bench)
+    p.set_defaults(func=_cmd_bench_engine)
 
-    p = sub.add_parser(
-        "serve-bench",
+    p = bsub.add_parser(
+        "serve",
         help="concurrent cache service + closed-loop load generator (one process)",
     )
     p.add_argument("--policy", default="SCIP")
@@ -814,10 +823,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result JSON path ('' to skip)")
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: 20k-request CDN-W, 2 ms origin (~seconds)")
-    p.set_defaults(func=_cmd_serve_bench)
+    p.set_defaults(func=_cmd_bench_serve)
 
-    p = sub.add_parser(
-        "orchestrate-bench",
+    p = bsub.add_parser(
+        "orchestrate",
         help="shadow-cache policy orchestration vs fixed candidates on a drift trace",
     )
     p.add_argument("--trace", default="diurnal",
@@ -847,10 +856,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result JSON path ('' to skip)")
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: 40k requests, two-candidate menu (~seconds)")
-    p.set_defaults(func=_cmd_orchestrate_bench)
+    p.set_defaults(func=_cmd_bench_orchestrate)
 
-    p = sub.add_parser(
-        "cluster-bench",
+    p = bsub.add_parser(
+        "cluster",
         help="replicated multi-node cluster under a kill/restart fault schedule",
     )
     p.add_argument("--trace", default="flash",
@@ -882,10 +891,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result JSON path ('' to skip)")
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: 24k requests, 1k windows (~seconds)")
-    p.set_defaults(func=_cmd_cluster_bench)
+    p.set_defaults(func=_cmd_bench_cluster)
 
-    p = sub.add_parser(
-        "net-bench",
+    p = bsub.add_parser(
+        "net",
         help="placement x edge-policy grid over a multi-tier cache tree + PoP kill",
     )
     p.add_argument("--trace", default="CDN-T", choices=["CDN-T", "CDN-W", "CDN-A"],
@@ -919,7 +928,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result JSON path ('' to skip)")
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: 24k requests, 1k windows (~seconds)")
-    p.set_defaults(func=_cmd_net_bench)
+    p.set_defaults(func=_cmd_bench_net)
+
+    p = bsub.add_parser(
+        "tenancy",
+        help="online multi-tenant capacity allocation vs static partitioning",
+    )
+    p.add_argument("--tenants", default="churn,flash,diurnal",
+                   help="comma-separated drift families, one per tenant "
+                        "(choose from churn, sizeshift, flash, diurnal)")
+    p.add_argument("-n", "--requests", type=int, default=120_000,
+                   help="total trace length across tenants (--quick caps at 45000)")
+    p.add_argument("--fraction", type=float, default=0.05,
+                   help="total cache capacity as WSS fraction")
+    p.add_argument("--mr-slo", type=float, default=0.5,
+                   help="per-tenant miss-ratio objective in (0, 1)")
+    p.add_argument("--burn-threshold", type=float, default=1.5,
+                   help="SLO burn rate that forces a re-allocation")
+    p.add_argument("--objective", default="fairness",
+                   choices=["fairness", "utilization"],
+                   help="waterfilling objective for the capacity split")
+    p.add_argument("--sample-rate", type=float, default=0.2,
+                   help="SHARDS sampling rate R for the per-tenant MRC grids")
+    p.add_argument("--window", type=int, default=400,
+                   help="decay window for live MRC points, in sampled requests")
+    p.add_argument("--cooldown", type=int, default=8_000,
+                   help="live requests between re-allocations")
+    p.add_argument("--eval-every", type=int, default=500,
+                   help="live requests between allocator evaluations")
+    p.add_argument("--min-share", type=float, default=0.05,
+                   help="protected per-tenant capacity floor (fraction of total)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default="BENCH_tenancy.json",
+                   help="result JSON path ('' to skip)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: 45k requests (~seconds)")
+    p.set_defaults(func=_cmd_bench_tenancy)
 
     p = sub.add_parser("obs", help="render learner trajectories from a JSONL event stream")
     p.add_argument("events", help="events.jsonl[.gz] written by simulate --trace-out")
@@ -945,8 +989,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Retired top-level commands -> their ``repro bench <target>`` home.
+_LEGACY_BENCH_COMMANDS = {
+    "serve-bench": "serve",
+    "orchestrate-bench": "orchestrate",
+    "cluster-bench": "cluster",
+    "net-bench": "net",
+}
+
+_BENCH_TARGETS = ("engine", "serve", "orchestrate", "cluster", "net", "tenancy")
+
+
+def _rewrite_legacy_bench_argv(argv: List[str]) -> List[str]:
+    """Map retired bench spellings onto ``repro bench <target>``.
+
+    ``repro serve-bench ...`` (and friends) forward with a
+    ``DeprecationWarning``; so does bare ``repro bench --flags``, which
+    historically meant the engine micro-benchmark and now needs an
+    explicit ``engine`` target.  The rewrite happens *before* argparse so
+    the shims share the real subparsers — one flag surface, one envelope.
+    """
+    if not argv:
+        return argv
+    head = argv[0]
+    if head in _LEGACY_BENCH_COMMANDS:
+        target = _LEGACY_BENCH_COMMANDS[head]
+        warnings.warn(
+            f"'repro {head}' is deprecated; use 'repro bench {target}'",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ["bench", target] + argv[1:]
+    if head == "bench":
+        rest = argv[1:]
+        if not rest or (
+            rest[0].startswith("-") and rest[0] not in ("-h", "--help")
+        ):
+            warnings.warn(
+                "bare 'repro bench' is deprecated; use 'repro bench engine'",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return ["bench", "engine"] + rest
+    return argv
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_parser().parse_args(_rewrite_legacy_bench_argv(argv))
     return args.func(args)
 
 

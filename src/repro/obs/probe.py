@@ -47,6 +47,12 @@ event                emitted by
 ``net_node_down``    ``net.NetEngine`` — a PoP was killed by the fault
                      plan (cache state discarded)
 ``net_node_up``      ``net.NetEngine`` — a killed PoP restarted cold
+``tenant_realloc``   ``tenancy.TenancyController`` — the capacity split
+                     across tenants was re-solved and applied
+``quota_evict``      ``tenancy.TenantPartitionedCache`` — a quota shrink
+                     evicted residents of the over-quota tenant
+``slo_breach``       ``tenancy.TenancyController`` — a tenant's SLO burn
+                     rate crossed the re-allocation trigger
 ==================== ==========================================================
 
 Every record carries ``seq`` (emission order) and, when the probe has a
@@ -88,6 +94,9 @@ PROBE_EVENTS = frozenset(
         "net_placement",
         "net_node_down",
         "net_node_up",
+        "tenant_realloc",
+        "quota_evict",
+        "slo_breach",
     }
 )
 

@@ -40,6 +40,7 @@ from repro.tdc.node import StorageNode
 
 __all__ = [
     "ControllerConfig",
+    "HysteresisGate",
     "SwitchEvent",
     "SwitchController",
     "Orchestrator",
@@ -99,13 +100,62 @@ class SwitchEvent:
         return {"at": self.at, "from": self.frm, "to": self.to, "scores": dict(self.scores)}
 
 
+class HysteresisGate:
+    """The reusable damper triple: evidence + cooldown + win margins.
+
+    Extracted from :class:`SwitchController` so other online decision
+    loops — the tenancy :class:`~repro.tenancy.allocator.CapacityAllocator`
+    re-solving capacity splits — apply exactly the same anti-flap
+    semantics to their own "act now or hold?" question:
+
+    * :meth:`ready` — enough evidence accrued and the cooldown elapsed;
+    * :meth:`improves` — the challenger beats the incumbent by the
+      relative ``hysteresis`` margin *and* the absolute ``min_gap``
+      (scores are lower-is-better);
+    * :meth:`fire` — record the action, starting the next cooldown.
+    """
+
+    __slots__ = ("config", "last_fired_at")
+
+    def __init__(self, config: Optional[ControllerConfig] = None):
+        self.config = config if config is not None else ControllerConfig()
+        self.last_fired_at: Optional[int] = None
+
+    def ready(self, now: int, sampled: int) -> bool:
+        """Evidence + cooldown: may any action be taken at ``now``?"""
+        cfg = self.config
+        if sampled < cfg.min_samples:
+            return False
+        return self.last_fired_at is None or now - self.last_fired_at >= cfg.cooldown
+
+    def improves(self, challenger: float, incumbent: float) -> bool:
+        """Does ``challenger`` (lower-is-better) win by both margins?"""
+        cfg = self.config
+        return (
+            challenger < incumbent * (1.0 - cfg.hysteresis)
+            and incumbent - challenger >= cfg.min_gap
+        )
+
+    def fire(self, now: int) -> None:
+        """Record an action at ``now``; the cooldown restarts here."""
+        self.last_fired_at = now
+
+
 class SwitchController:
     """Hysteresis + cooldown gate over the rack's windowed scores."""
 
     def __init__(self, config: Optional[ControllerConfig] = None):
-        self.config = config if config is not None else ControllerConfig()
-        self.last_switch_at: Optional[int] = None
+        self.gate = HysteresisGate(config)
+        self.config = self.gate.config
         self.evaluations = 0
+
+    @property
+    def last_switch_at(self) -> Optional[int]:
+        return self.gate.last_fired_at
+
+    @last_switch_at.setter
+    def last_switch_at(self, value: Optional[int]) -> None:
+        self.gate.last_fired_at = value
 
     def consider(
         self, now: int, current: str, scores: Mapping[str, float], sampled: int
@@ -124,19 +174,13 @@ class SwitchController:
             Total sampled requests the rack has replayed (evidence gate).
         """
         self.evaluations += 1
-        cfg = self.config
-        if sampled < cfg.min_samples:
-            return None
-        if self.last_switch_at is not None and now - self.last_switch_at < cfg.cooldown:
+        if not self.gate.ready(now, sampled):
             return None
         best = min(scores, key=scores.get)
         if best == current:
             return None
-        if (
-            scores[best] < scores[current] * (1.0 - cfg.hysteresis)
-            and scores[current] - scores[best] >= cfg.min_gap
-        ):
-            self.last_switch_at = now
+        if self.gate.improves(scores[best], scores[current]):
+            self.gate.fire(now)
             return best
         return None
 

@@ -179,6 +179,7 @@ def run_engine_bench(
     output: Optional[str] = "BENCH_engine.json",
     quick: bool = False,
     registry: Optional[Mapping[str, Callable[[int], object]]] = None,
+    seed: Optional[int] = None,
 ) -> dict:
     """Run the engine micro-benchmark and (optionally) persist the result.
 
@@ -195,6 +196,9 @@ def run_engine_bench(
         Path for ``BENCH_engine.json``; ``None`` skips writing.
     quick:
         Smoke mode for CI: 30 k requests, one repeat (~seconds).
+    seed:
+        Workload seed override; ``None`` keeps each workload's fixed
+        default (the historical baseline-comparable stream).
     """
     from repro.traces.cdn import make_workload
 
@@ -211,7 +215,7 @@ def run_engine_bench(
     if unknown:
         raise KeyError(f"unknown bench policies {unknown}; available: {sorted(reg)}")
 
-    trace = make_workload(workload, n_requests=n_requests)
+    trace = make_workload(workload, n_requests=n_requests, seed=seed)
     capacity = max(int(trace.working_set_size * fraction), 1)
 
     from repro.sim.batch import batch_supported

@@ -178,19 +178,36 @@ class CacheService:
     def resident_entries(self):
         """Yield ``(key, size)`` for every resident object across shards.
 
-        Walks each shard's queue-structured policy synchronously (no await
-        points, so the single-threaded event loop cannot observe a policy
-        mid-decision).  Non-queue policies contribute nothing — warm
-        handoff is best-effort by design.  Used by the cluster
+        Walks each shard's policy synchronously through the duck-typed
+        ``export_residents`` protocol (no await points, so the
+        single-threaded event loop cannot observe a policy mid-decision).
+        Queue policies export LRU → MRU; composite tenancy partitions
+        export every tenant's residents; policies without a resident
+        structure contribute nothing — warm handoff is best-effort by
+        design.  Used by the cluster
         :class:`~repro.cluster.rebalance.Rebalancer` for warm handoffs.
         """
-        from repro.cache.base import QueueCache
-
         for shard in self.shards:
-            policy = shard.policy
-            if isinstance(policy, QueueCache):
-                for node in policy.queue.iter_lru():
-                    yield node.key, node.size
+            yield from shard.policy.export_residents()
+
+    # -- tenant quotas -----------------------------------------------------
+    async def set_tenant_quotas(self, quotas: dict) -> bool:
+        """Apply per-tenant byte quotas across every shard.
+
+        ``quotas`` maps tenant id → total bytes for that tenant across the
+        whole service; each shard receives its even slice (mirroring how
+        ``capacity`` is split at construction).  The resize runs on each
+        shard's worker task (control-plane message, never shed), so quota
+        shrink evictions interleave only between complete cache decisions.
+        Returns ``True`` iff every shard's policy supports quotas.
+        """
+        if not self._started:
+            raise RuntimeError("CacheService.set_tenant_quotas before start()")
+        per_shard = {t: max(q // self._n, 1) for t, q in quotas.items()}
+        results = await asyncio.gather(
+            *(shard.request_set_quotas(dict(per_shard)) for shard in self.shards)
+        )
+        return all(results)
 
     # -- the request API ---------------------------------------------------
     def shard_for(self, key) -> CacheShard:

@@ -34,7 +34,7 @@ import random
 from functools import partial
 from typing import Optional
 
-from repro.cache.base import CachePolicy, QueueCache
+from repro.cache.base import CachePolicy
 from repro.serve.coalesce import SingleFlight
 from repro.serve.origin import FetchOutcome, RetryPolicy, SimulatedOrigin, fetch_with_retry
 from repro.serve.results import ServeMetrics, ServeOutcome
@@ -62,6 +62,22 @@ class _SwapControl:
         self.factory = factory
         self.fut = fut
         self.span = span
+
+
+class _QuotaControl:
+    """Control-plane queue item: apply per-tenant byte quotas.
+
+    Rides the shard queue like :class:`_SwapControl`, so the resize (and
+    any shrink evictions it forces) runs on the worker task between
+    complete cache decisions.  ``fut`` resolves ``True`` if the shard's
+    policy supports quotas (duck-typed ``set_quotas``), ``False`` otherwise.
+    """
+
+    __slots__ = ("quotas", "fut")
+
+    def __init__(self, quotas: dict, fut: asyncio.Future):
+        self.quotas = quotas
+        self.fut = fut
 
 
 class _FillControl:
@@ -194,6 +210,19 @@ class CacheShard:
                 finally:
                     queue.task_done()
                 continue
+            if isinstance(item, _QuotaControl):
+                try:
+                    applied = self._set_quotas(item.quotas)
+                except Exception:
+                    self.metrics.unhandled.inc()
+                    if not item.fut.done():
+                        item.fut.set_result(False)
+                else:
+                    if not item.fut.done():
+                        item.fut.set_result(applied)
+                finally:
+                    queue.task_done()
+                continue
             if isinstance(item, _FillControl):
                 try:
                     filled = self._fill(item.req)
@@ -276,10 +305,13 @@ class CacheShard:
     def _swap(self, factory, span=None) -> None:
         """Hot-swap the shard policy — runs on the worker task only.
 
-        Mirrors :meth:`repro.tdc.node.StorageNode.swap_policy`: when both
-        policies are queue-structured the resident set migrates LRU → MRU
-        (recency order reconstructed, no origin refill); otherwise the new
-        policy restarts cold.  In-flight fetches are untouched — the
+        Mirrors :meth:`repro.tdc.node.StorageNode.swap_policy`: the old
+        policy's resident set migrates through the duck-typed
+        ``export_residents`` / ``import_resident`` protocol (queue policies
+        export LRU → MRU so recency order is reconstructed; composite
+        tenancy partitions export per-tenant; policies without a resident
+        structure export nothing and the successor starts cold — no origin
+        refill either way).  In-flight fetches are untouched — the
         single-flight map is shard state, not policy state, so coalesced
         waiters resolve against the same generation regardless of which
         policy admitted the key.
@@ -291,12 +323,11 @@ class CacheShard:
         )
         old = self.policy
         new = factory(old.capacity)
-        if isinstance(old, QueueCache) and isinstance(new, QueueCache):
-            clock = old.clock
-            for node in old.queue.iter_lru():
-                new._miss(Request(clock, node.key, node.size))
+        migrated = 0
+        for key, size in old.export_residents():
+            if new.import_resident(key, size):
+                migrated += 1
         self.policy = new
-        migrated = len(new) if isinstance(new, QueueCache) else 0
         if sspan is not None:
             sspan.end(frm=old.name, to=new.name, migrated=migrated)
         if self.probe is not None:
@@ -345,6 +376,32 @@ class CacheShard:
         """
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         await self.queue.put(_FillControl(req, fut))
+        return await fut
+
+    # -- tenant quotas (worker side) ----------------------------------------
+    def _set_quotas(self, quotas: dict) -> bool:
+        """Apply per-tenant byte quotas — runs on the worker task only.
+
+        Duck-typed: the policy opts in by exposing ``set_quotas`` (the
+        tenancy :class:`~repro.tenancy.partition.TenantPartitionedCache`
+        does); anything else ignores the control message and reports
+        ``False`` so the service can surface the mismatch.
+        """
+        set_quotas = getattr(self.policy, "set_quotas", None)
+        if set_quotas is None:
+            return False
+        set_quotas(quotas)
+        return True
+
+    async def request_set_quotas(self, quotas: dict) -> bool:
+        """Ask the worker to apply per-tenant quotas (control plane).
+
+        Blocks on a full queue instead of shedding, like
+        :meth:`request_swap`.  Resolves ``True`` iff the shard policy
+        supports quota partitioning.
+        """
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self.queue.put(_QuotaControl(quotas, fut))
         return await fut
 
     def _chain(

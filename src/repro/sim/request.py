@@ -40,17 +40,31 @@ class Request:
         Index into the trace of the *next* request for the same key, or
         :data:`NO_NEXT_ACCESS` if there is none.  Populated only after
         :func:`annotate_next_access`; oracle policies require it.
+    tenant:
+        Owning tenant id (``0`` for single-tenant traces).  The multi-tenant
+        machinery (:mod:`repro.tenancy`) routes quota accounting by this
+        field; policies that don't partition ignore it.  Deliberately not
+        part of equality/hashing — a request is identified by
+        (time, key, size) exactly as before tenancy existed.
     """
 
-    __slots__ = ("time", "key", "size", "next_access")
+    __slots__ = ("time", "key", "size", "next_access", "tenant")
 
-    def __init__(self, time: int, key: int, size: int, next_access: int = NO_NEXT_ACCESS):
+    def __init__(
+        self,
+        time: int,
+        key: int,
+        size: int,
+        next_access: int = NO_NEXT_ACCESS,
+        tenant: int = 0,
+    ):
         if size < 1:
             raise ValueError(f"request size must be >= 1 byte, got {size}")
         self.time = time
         self.key = key
         self.size = size
         self.next_access = next_access
+        self.tenant = tenant
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Request(time={self.time}, key={self.key!r}, size={self.size})"

@@ -1,0 +1,197 @@
+"""Online capacity allocation: waterfilling over live MRC marginal gains.
+
+Given each tenant's live miss-ratio curve (:class:`~repro.tenancy.mrc.
+TenantMRCEstimator`) and its share of the request rate, the allocator
+re-solves the capacity split by greedy waterfilling: start every tenant at
+a protected floor, then hand out one quantum at a time to whichever tenant
+the objective favours, using the curves' *marginal gains* — how much a
+tenant's miss ratio drops if it gets one more quantum.
+
+Two objectives:
+
+* ``"utilization"`` — each quantum goes to the tenant with the largest
+  rate-weighted marginal gain (``rate × Δmr``): minimises the cluster-wide
+  expected miss rate, but a hot tenant can starve a cold one down to the
+  floor;
+* ``"fairness"`` — each quantum goes to the tenant with the *worst*
+  predicted miss ratio among those a quantum would still help: a max-min
+  split that lifts the worst-off tenant first (the bench's acceptance
+  metric is exactly the worst tenant's miss ratio).
+
+Solving is cheap; *acting* is not (a shrink evicts residents).  So the
+same :class:`~repro.orchestrate.controller.HysteresisGate` that damps
+policy switches gates re-allocations: evidence + cooldown via
+:meth:`~repro.orchestrate.controller.HysteresisGate.ready`, and the
+proposal's predicted cost (rate-weighted expected miss ratio) must beat
+the current split's by the hysteresis margins — unless the caller
+``force``-s the action because a tenant's SLO burn rate demands relief
+*now* (the gate's cooldown still applies, so even burns cannot flap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.orchestrate.controller import ControllerConfig, HysteresisGate
+
+__all__ = ["CapacityAllocator"]
+
+#: Protocol (duck-typed): anything with ``miss_ratio_at(capacity) -> float``
+#: works as a curve — in practice :class:`~repro.tenancy.mrc.
+#: TenantMRCEstimator`.
+
+
+class CapacityAllocator:
+    """Waterfilling capacity splitter with anti-flap gating.
+
+    Parameters
+    ----------
+    capacity:
+        Total byte budget to split.
+    n_tenants:
+        Number of tenants (ids ``0 .. n_tenants-1``).
+    quantum:
+        Allocation granularity in bytes (default ``capacity // 64``).
+    min_share:
+        Protected floor per tenant as a fraction of ``capacity`` — no
+        tenant is ever squeezed below it, so a starved tenant retains a
+        foothold from which its curve (and hence its claim) can recover.
+    objective:
+        ``"fairness"`` (default) or ``"utilization"``; see module doc.
+    config:
+        :class:`~repro.orchestrate.controller.ControllerConfig` for the
+        gate (hysteresis / min_gap / cooldown / min_samples).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        n_tenants: int,
+        quantum: Optional[int] = None,
+        min_share: float = 0.05,
+        objective: str = "fairness",
+        config: Optional[ControllerConfig] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if n_tenants < 1:
+            raise ValueError(f"n_tenants must be >= 1, got {n_tenants}")
+        if objective not in ("fairness", "utilization"):
+            raise ValueError(
+                f"objective must be 'fairness' or 'utilization', got {objective!r}"
+            )
+        if not 0.0 <= min_share <= 1.0 / n_tenants:
+            raise ValueError(
+                f"min_share must be in [0, 1/{n_tenants}], got {min_share}"
+            )
+        self.capacity = int(capacity)
+        self.n_tenants = int(n_tenants)
+        self.quantum = (
+            max(int(quantum), 1) if quantum is not None
+            else max(self.capacity // 64, 1)
+        )
+        self.floor = max(int(self.capacity * min_share), 1)
+        self.objective = objective
+        self.gate = HysteresisGate(config)
+        self.config = self.gate.config
+        self.evaluations = 0
+
+    # -- the solver ----------------------------------------------------------
+    def solve(self, curves: Mapping[int, object], rates: Mapping[int, float]) -> Dict[int, int]:
+        """Waterfill ``capacity`` over the tenants' live curves.
+
+        ``curves`` maps tenant → an object with ``miss_ratio_at(bytes)``;
+        ``rates`` maps tenant → its request-rate share (any positive
+        scale).  Returns ``{tenant: bytes}`` summing to exactly
+        ``capacity``.
+        """
+        alloc = {t: self.floor for t in range(self.n_tenants)}
+        remaining = self.capacity - self.floor * self.n_tenants
+        q = self.quantum
+        while remaining >= q:
+            best_t = None
+            best_score = 0.0
+            for t in range(self.n_tenants):
+                mr_here = curves[t].miss_ratio_at(alloc[t])
+                gain = mr_here - curves[t].miss_ratio_at(alloc[t] + q)
+                if gain <= 0.0:
+                    continue  # flat curve: a quantum buys this tenant nothing
+                if self.objective == "utilization":
+                    score = rates.get(t, 0.0) * gain
+                else:  # fairness: lift the worst-off tenant that capacity helps
+                    score = mr_here
+                if best_t is None or score > best_score:
+                    best_t, best_score = t, score
+            if best_t is None:
+                break  # every curve is flat past its allocation
+            alloc[best_t] += q
+            remaining -= q
+        # Park any sub-quantum (or all-flat) remainder round-robin so the
+        # split always sums to the full budget.
+        t = 0
+        while remaining > 0:
+            give = min(q, remaining)
+            alloc[t % self.n_tenants] += give
+            remaining -= give
+            t += 1
+        return alloc
+
+    def predicted_cost(
+        self, alloc: Mapping[int, int], curves: Mapping[int, object], rates: Mapping[int, float]
+    ) -> float:
+        """Rate-weighted expected miss ratio under ``alloc`` (lower is
+        better) — the score the gate compares splits by."""
+        total_rate = sum(rates.get(t, 0.0) for t in range(self.n_tenants))
+        if total_rate <= 0.0:
+            return 0.0
+        return sum(
+            rates.get(t, 0.0) * curves[t].miss_ratio_at(alloc[t])
+            for t in range(self.n_tenants)
+        ) / total_rate
+
+    # -- the gated decision ----------------------------------------------------
+    def consider(
+        self,
+        now: int,
+        sampled: int,
+        curves: Mapping[int, object],
+        rates: Mapping[int, float],
+        current: Mapping[int, int],
+        force: bool = False,
+    ) -> Optional[Dict[int, int]]:
+        """Return the new split to apply, or ``None`` to hold.
+
+        Parameters
+        ----------
+        now:
+            Live request index (the cooldown clock).
+        sampled:
+            Sampled requests accrued across the tenants' estimators
+            (evidence gate).
+        curves, rates:
+            Live inputs to :meth:`solve`.
+        current:
+            The split currently enforced.
+        force:
+            ``True`` when an SLO burn demands relief: skips the
+            improvement margins (the proposal only needs to be different
+            and not predicted *worse*), but never the cooldown — a
+            burning tenant cannot make the allocator flap either.
+        """
+        self.evaluations += 1
+        if not self.gate.ready(now, sampled):
+            return None
+        proposal = self.solve(curves, rates)
+        if all(proposal[t] == current.get(t) for t in proposal):
+            return None
+        challenger = self.predicted_cost(proposal, curves, rates)
+        incumbent = self.predicted_cost(current, curves, rates)
+        if force:
+            if challenger <= incumbent:
+                self.gate.fire(now)
+                return proposal
+            return None
+        if self.gate.improves(challenger, incumbent):
+            self.gate.fire(now)
+            return proposal
+        return None

@@ -1,0 +1,288 @@
+"""The tenancy control loop: live MRCs in, quota re-allocations out.
+
+:class:`TenancyController` is the tenancy analogue of
+:class:`repro.orchestrate.controller.Orchestrator`: feed every live
+request through :meth:`record` (after the cache served it) and it
+
+* routes the request to its tenant's :class:`~repro.tenancy.mrc.
+  TenantMRCEstimator` (the SHARDS-sampled shadow grid),
+* tracks each tenant's request-rate share and windowed miss ratio,
+* accounts each tenant's **miss-ratio SLO** through the existing
+  :class:`repro.obs.span.SLOTracker` error-budget machinery — a miss *is*
+  the breach, so a tenant's burn rate is ``miss_ratio / mr_slo``: above
+  1.0 the tenant is missing more than its objective tolerates,
+* every ``eval_every`` requests asks the :class:`~repro.tenancy.
+  allocator.CapacityAllocator` whether the split should move.  A tenant
+  whose burn rate crosses ``burn_threshold`` emits ``slo_breach`` and
+  *forces* the evaluation past the allocator's improvement margins
+  (cooldown still holds — SLO pressure must not flap the split either).
+
+Accepted re-allocations go through the ``apply`` callback — typically
+:meth:`repro.tenancy.partition.TenantPartitionedCache.set_quotas`, which
+returns the per-tenant bytes its quota shrinks evicted — and are logged
+as :class:`ReallocEvent` rows plus a ``tenant_realloc`` probe event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+from repro.obs.span import SLO, SLOTracker
+from repro.orchestrate.controller import ControllerConfig
+from repro.orchestrate.shadow import DecayedRatio
+from repro.sim.request import Request
+from repro.tenancy.allocator import CapacityAllocator
+from repro.tenancy.mrc import TenantMRCEstimator
+from repro.traces.drift import TENANT_STRIDE
+
+__all__ = ["ReallocEvent", "TenancyController"]
+
+
+@dataclass
+class ReallocEvent:
+    """One applied re-allocation, for the bench doc and the event stream."""
+
+    at: int  # live request index of the decision
+    trigger: str  # "gain" (margin win) or "burn" (SLO-forced)
+    alloc: Dict[int, int]
+    evicted: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "trigger": self.trigger,
+            "alloc": {str(t): b for t, b in self.alloc.items()},
+            "evicted": {str(t): b for t, b in self.evicted.items()},
+        }
+
+
+class TenancyController:
+    """Online quota control for one multi-tenant cache.
+
+    Parameters
+    ----------
+    capacity:
+        Total byte budget being split.
+    n_tenants:
+        Number of tenants (ids ``0 .. n_tenants-1``).
+    apply:
+        ``quotas -> evicted`` callback enforcing an accepted split (e.g.
+        ``TenantPartitionedCache.set_quotas``).  ``None`` makes the
+        controller a pure observer — decisions are logged, nothing moves.
+    initial:
+        The split currently enforced (default: equal).
+    mr_slo:
+        Per-tenant miss-ratio objective in (0, 1): scalar for all, or a
+        ``{tenant: slo}`` mapping.  Burn rate = miss_ratio / mr_slo.
+    burn_threshold:
+        Burn rate at which a tenant's SLO pressure forces re-allocation.
+    rate, seed, window, grid_fractions:
+        Estimator parameters (see :class:`TenantMRCEstimator`).
+    objective, quantum, min_share:
+        Allocator parameters (see :class:`CapacityAllocator`).
+    config:
+        Gate knobs + ``eval_every`` cadence
+        (:class:`~repro.orchestrate.controller.ControllerConfig`).
+    probe:
+        Optional obs probe (``tenant_realloc`` / ``slo_breach``).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        n_tenants: int,
+        apply: Optional[Callable[[Dict[int, int]], Optional[Dict[int, int]]]] = None,
+        initial: Optional[Mapping[int, int]] = None,
+        mr_slo: Union[float, Mapping[int, float]] = 0.5,
+        burn_threshold: float = 1.5,
+        rate: float = 0.1,
+        seed: int = 0,
+        window: int = 2_000,
+        grid_fractions=None,
+        objective: str = "fairness",
+        quantum: Optional[int] = None,
+        min_share: float = 0.05,
+        config: Optional[ControllerConfig] = None,
+        probe=None,
+    ):
+        if n_tenants < 1:
+            raise ValueError(f"n_tenants must be >= 1, got {n_tenants}")
+        if burn_threshold <= 0:
+            raise ValueError(f"burn_threshold must be > 0, got {burn_threshold}")
+        self.capacity = int(capacity)
+        self.n_tenants = int(n_tenants)
+        self.apply = apply
+        self.probe = probe
+        mrc_kwargs = dict(rate=rate, seed=seed, window=window)
+        if grid_fractions is not None:
+            mrc_kwargs["grid_fractions"] = grid_fractions
+        self.estimators: Dict[int, TenantMRCEstimator] = {
+            t: TenantMRCEstimator(t, self.capacity, **mrc_kwargs)
+            for t in range(n_tenants)
+        }
+        self.allocator = CapacityAllocator(
+            self.capacity,
+            n_tenants,
+            quantum=quantum,
+            min_share=min_share,
+            objective=objective,
+            config=config,
+        )
+        self.config = self.allocator.config
+        if initial is None:
+            initial = {t: self.capacity // n_tenants for t in range(n_tenants)}
+        self.alloc: Dict[int, int] = {t: int(initial[t]) for t in range(n_tenants)}
+        # Per-tenant miss-ratio SLOs ride the span SLO machinery: one
+        # synthetic stage per tenant, observed at zero latency with
+        # ok=hit, so "breach" means "miss" and the budget is mr_slo.
+        if isinstance(mr_slo, Mapping):
+            slos = {t: float(mr_slo.get(t, 0.5)) for t in range(n_tenants)}
+        else:
+            slos = {t: float(mr_slo) for t in range(n_tenants)}
+        for t, s in slos.items():
+            if not 0.0 < s < 1.0:
+                raise ValueError(f"mr_slo for tenant {t} must be in (0, 1), got {s}")
+        self.mr_slo = slos
+        self.burn_threshold = float(burn_threshold)
+        self.slo = SLOTracker(
+            [SLO(self._stage(t), latency_us=1.0, target=1.0 - slos[t]) for t in slos]
+        )
+        self.rates: Dict[int, DecayedRatio] = {
+            t: DecayedRatio(window) for t in range(n_tenants)
+        }
+        self.windowed_mr: Dict[int, DecayedRatio] = {
+            t: DecayedRatio(window) for t in range(n_tenants)
+        }
+        self.tenant_requests: Dict[int, int] = {t: 0 for t in range(n_tenants)}
+        self.tenant_hits: Dict[int, int] = {t: 0 for t in range(n_tenants)}
+        self.reallocations: List[ReallocEvent] = []
+        self.breaches: List[dict] = []
+        self.t = 0
+
+    @staticmethod
+    def _stage(tenant: int) -> str:
+        return f"tenant{tenant}_mr"
+
+    def tenant_of(self, key) -> int:
+        """Same key-namespace routing as the partition (sentinels → 0)."""
+        if isinstance(key, int):
+            t = key // TENANT_STRIDE
+            if 0 <= t < self.n_tenants:
+                return t
+        return 0
+
+    # -- the per-request hook ------------------------------------------------
+    def record(self, req: Request, hit: bool) -> Optional[ReallocEvent]:
+        """Account one live request; returns the re-allocation applied, if
+        any."""
+        self.t += 1
+        tenant = self.tenant_of(req.key)
+        self.tenant_requests[tenant] += 1
+        if hit:
+            self.tenant_hits[tenant] += 1
+        self.windowed_mr[tenant].update(0.0 if hit else 1.0)
+        for t, share in self.rates.items():
+            share.update(1.0 if t == tenant else 0.0)
+        self.slo.observe(self._stage(tenant), 0.0, ok=hit)
+        self.estimators[tenant].observe(req)
+        if self.t % self.config.eval_every == 0:
+            return self._evaluate()
+        return None
+
+    # -- evaluation ----------------------------------------------------------
+    def _burn_rates(self) -> Dict[int, float]:
+        summary = self.slo.summary()
+        return {
+            t: summary[self._stage(t)]["burn_rate"] for t in range(self.n_tenants)
+        }
+
+    def _evaluate(self) -> Optional[ReallocEvent]:
+        burns = self._burn_rates()
+        burning = [
+            t for t, burn in burns.items()
+            if burn > self.burn_threshold and self.tenant_requests[t] > 0
+        ]
+        for t in burning:
+            breach = {
+                "at": self.t,
+                "tenant": t,
+                "burn": round(burns[t], 4),
+                "mr": round(self.windowed_mr[t].value, 6),
+                "slo": self.mr_slo[t],
+            }
+            self.breaches.append(breach)
+            if self.probe is not None:
+                self.probe.emit("slo_breach", **breach)
+        sampled = sum(e.sampled_requests for e in self.estimators.values())
+        rates = {t: share.value for t, share in self.rates.items()}
+        proposal = self.allocator.consider(
+            self.t,
+            sampled,
+            self.estimators,
+            rates,
+            self.alloc,
+            force=bool(burning),
+        )
+        if proposal is None:
+            return None
+        evicted = self.apply(dict(proposal)) if self.apply is not None else None
+        event = ReallocEvent(
+            at=self.t,
+            trigger="burn" if burning else "gain",
+            alloc=dict(proposal),
+            evicted=dict(evicted) if isinstance(evicted, dict) else {},
+        )
+        self.alloc = dict(proposal)
+        self.reallocations.append(event)
+        if self.probe is not None:
+            self.probe.emit(
+                "tenant_realloc",
+                at=event.at,
+                trigger=event.trigger,
+                alloc={str(t): b for t, b in event.alloc.items()},
+                freed_bytes=sum(event.evicted.values()),
+            )
+        return event
+
+    # -- introspection -------------------------------------------------------
+    def accounting_errors(self) -> int:
+        """Cross-check the SLO ledgers against the controller's own
+        per-tenant request counts; any divergence is a bug (CI pins 0)."""
+        summary = self.slo.summary()
+        errors = 0
+        for t in range(self.n_tenants):
+            row = summary[self._stage(t)]
+            if row["total"] != self.tenant_requests[t]:
+                errors += 1
+            misses = self.tenant_requests[t] - self.tenant_hits[t]
+            if row["breaches"] != misses:
+                errors += 1
+        return errors
+
+    def summary(self) -> dict:
+        tenants = {}
+        for t in range(self.n_tenants):
+            n = self.tenant_requests[t]
+            hits = self.tenant_hits[t]
+            tenants[str(t)] = {
+                "requests": n,
+                "hits": hits,
+                "miss_ratio": (n - hits) / n if n else 0.0,
+                "windowed_mr": round(self.windowed_mr[t].value, 6),
+                "rate_share": round(self.rates[t].value, 6),
+                "mr_slo": self.mr_slo[t],
+                "alloc_bytes": self.alloc[t],
+                "mrc": self.estimators[t].snapshot(),
+            }
+        return {
+            "requests": self.t,
+            "alloc": {str(t): b for t, b in self.alloc.items()},
+            "objective": self.allocator.objective,
+            "reallocations": [e.as_dict() for e in self.reallocations],
+            "slo_breaches": list(self.breaches),
+            "slo": self.slo.summary(),
+            "accounting_errors": self.accounting_errors(),
+            "evaluations": self.allocator.evaluations,
+            "tenants": tenants,
+        }

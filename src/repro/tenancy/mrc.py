@@ -1,0 +1,140 @@
+"""Live per-tenant miss-ratio curves from SHARDS-sampled shadow grids.
+
+The offline Mattson sweep (:mod:`repro.traces.mrc`) needs the whole trace;
+the allocator needs to know *now* what one more megabyte is worth to each
+tenant.  :class:`TenantMRCEstimator` answers online, the SHARDS way
+(:mod:`repro.orchestrate.sampler`): a per-tenant
+:class:`~repro.orchestrate.sampler.SpatialSampler` keeps rate ``R`` of the
+tenant's keys, and a small grid of shadow caches — one per capacity grid
+point, each scaled to ``R ×`` its point — replays the sampled sub-stream.
+Each shadow's :class:`~repro.orchestrate.shadow.DecayedRatio` windowed
+miss ratio is one point of the tenant's live MRC; between points the curve
+is interpolated linearly, anchored at ``(0, 1.0)`` (no bytes, no hits).
+
+Windowed, not cumulative, for the same reason the switch controller
+scores windows: under drift the question is what capacity is worth to
+this tenant *now* — a flash tenant's curve must steepen when the storm
+starts, not after the cumulative average catches up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cache.base import CachePolicy
+from repro.orchestrate.sampler import SpatialSampler
+from repro.orchestrate.shadow import DecayedRatio
+from repro.sim.request import Request
+
+__all__ = ["DEFAULT_GRID_FRACTIONS", "TenantMRCEstimator"]
+
+#: Capacity grid points as fractions of the *total* (cluster) capacity:
+#: any single tenant could be allocated nearly everything, so each
+#: tenant's curve must span the full range the allocator explores.
+DEFAULT_GRID_FRACTIONS: Tuple[float, ...] = (0.1, 0.2, 0.35, 0.55, 0.8, 1.0)
+
+
+def _default_shadow(capacity: int) -> CachePolicy:
+    from repro.cache.lru import LRUCache
+
+    return LRUCache(capacity)
+
+
+class TenantMRCEstimator:
+    """One tenant's live MRC: a SHARDS sampler feeding a shadow-cache grid.
+
+    Parameters
+    ----------
+    tenant:
+        Tenant id (decorrelates the sampler so no two tenants study the
+        same biased key subset).
+    capacity:
+        Total capacity whose fractions form the grid.
+    rate, seed:
+        SHARDS sample rate and base seed.
+    window:
+        Decay window for the per-point miss ratios, in sampled requests.
+    grid_fractions:
+        Capacity grid as fractions of ``capacity`` (strictly increasing).
+    shadow_factory:
+        Policy per grid point (default LRU — the MRC convention; the
+        allocator wants the capacity signal, not policy rankings).
+    """
+
+    def __init__(
+        self,
+        tenant: int,
+        capacity: int,
+        rate: float = 0.1,
+        seed: int = 0,
+        window: int = 2_000,
+        grid_fractions: Sequence[float] = DEFAULT_GRID_FRACTIONS,
+        shadow_factory: Optional[Callable[[int], CachePolicy]] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        fracs = tuple(grid_fractions)
+        if not fracs or any(
+            not 0.0 < f <= 1.0 for f in fracs
+        ) or list(fracs) != sorted(set(fracs)):
+            raise ValueError(
+                f"grid_fractions must be strictly increasing in (0, 1], got {fracs!r}"
+            )
+        self.tenant = int(tenant)
+        self.capacity = int(capacity)
+        self.sampler = SpatialSampler(rate, seed=seed * 31 + tenant * 0x9E3779B9)
+        factory = shadow_factory if shadow_factory is not None else _default_shadow
+        self.grid: List[int] = [max(int(capacity * f), 1) for f in fracs]
+        self.shadows: List[CachePolicy] = [
+            factory(self.sampler.scaled_capacity(point)) for point in self.grid
+        ]
+        self.ratios: List[DecayedRatio] = [DecayedRatio(window) for _ in self.grid]
+        self.sampled_requests = 0
+        self.requests = 0
+
+    def observe(self, req: Request) -> bool:
+        """Offer one of this tenant's live requests; replays it into every
+        grid shadow iff the key is in the sampled population."""
+        self.requests += 1
+        if not self.sampler.sampled(req.key):
+            return False
+        self.sampled_requests += 1
+        for policy, ratio in zip(self.shadows, self.ratios):
+            hit = policy.request(req)
+            ratio.update(0.0 if hit else 1.0)
+        return True
+
+    def curve(self) -> List[Tuple[int, float]]:
+        """The live MRC as ``[(capacity_bytes, windowed_miss_ratio), ...]``,
+        anchored at ``(0, 1.0)`` and monotonically *clamped* — sampling
+        noise can locally invert two grid points, and a non-increasing
+        curve is what the waterfilling marginal gains need."""
+        points: List[Tuple[int, float]] = [(0, 1.0)]
+        floor = 1.0
+        for cap, ratio in zip(self.grid, self.ratios):
+            floor = min(floor, ratio.value)
+            points.append((cap, floor))
+        return points
+
+    def miss_ratio_at(self, capacity: int) -> float:
+        """Piecewise-linear interpolation of the live curve (clamped to the
+        grid's ends)."""
+        points = self.curve()
+        if capacity <= 0:
+            return points[0][1]
+        for (c0, m0), (c1, m1) in zip(points, points[1:]):
+            if capacity <= c1:
+                if c1 == c0:
+                    return m1
+                w = (capacity - c0) / (c1 - c0)
+                return m0 + (m1 - m0) * w
+        return points[-1][1]
+
+    def snapshot(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "rate": self.sampler.rate,
+            "requests": self.requests,
+            "sampled_requests": self.sampled_requests,
+            "curve": [[c, round(m, 6)] for c, m in self.curve()],
+        }

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict
 
-from repro.sim.request import Trace
+from repro.sim.request import Request, Trace
 from repro.traces.synthetic import WorkloadSpec, generate_trace
 from repro.traces.transform import concat
 
@@ -43,11 +43,18 @@ __all__ = [
     "DRIFT_TRACES",
     "drift_trace_names",
     "make_drift_trace",
+    "TENANT_STRIDE",
+    "multi_tenant_trace",
 ]
 
 #: Key-namespace stride between independent phases (far above any
 #: generator's internal namespace span).
 _PHASE_STRIDE = 10**10
+
+#: Key-namespace stride between tenants in a multi-tenant trace.  Two
+#: orders of magnitude above the largest per-phase offset any family uses,
+#: so ``key // TENANT_STRIDE`` recovers the owning tenant exactly.
+TENANT_STRIDE = 10**12
 
 
 def _splice(phases, name: str) -> Trace:
@@ -219,6 +226,91 @@ def diurnal(n_requests: int = 120_000, seed: int = 0, cycles: int = 2) -> Trace:
         phases.append(generate_trace(day))
         phases.append(generate_trace(night))
     return _splice(phases, name="drift-diurnal")
+
+
+def multi_tenant_trace(
+    n_requests: int = 120_000,
+    seed: int = 0,
+    tenants=("churn", "flash", "diurnal"),
+) -> Trace:
+    """Splice K drift families into one tenant-tagged request stream.
+
+    Each entry of ``tenants`` names a :data:`DRIFT_TRACES` family; tenant
+    ``t`` gets an independent instance of its family (per-tenant seed,
+    per-tenant budget ``n_requests // K``) whose keys are offset by
+    ``t * TENANT_STRIDE`` — key namespaces never collide and
+    ``key // TENANT_STRIDE`` recovers the owner.  Every request carries
+    ``req.tenant = t``.
+
+    The merge interleaves tenants **deterministically by scaled position**
+    (request ``j`` of a tenant with ``L`` requests lands at fraction
+    ``j / L`` of the merged stream, ties broken by tenant id), so each
+    tenant's internal order — and therefore its reuse structure and its
+    family's drift phases — is preserved while the streams genuinely
+    compete for the same cache at every point in time.
+
+    Metadata on the result:
+
+    * ``trace.phase_bounds`` — the per-family phase boundaries remapped to
+      merged global indices, labelled ``t<t>:<phase>`` (the flash tenant's
+      storm onsets are what the tenancy bench's reallocations chase);
+    * ``trace.tenant_meta`` — ``{tenant: {"family", "requests",
+      "working_set_size", "phase_bounds"}}`` with tenant-local bounds.
+    """
+    families = list(tenants)
+    if len(families) < 2:
+        raise ValueError(f"need >= 2 tenants, got {len(families)}")
+    per = n_requests // len(families)
+    if per < 1:
+        raise ValueError(
+            f"n_requests={n_requests} too small for {len(families)} tenants"
+        )
+    subs = []
+    for t, family in enumerate(families):
+        try:
+            builder = DRIFT_TRACES[family]
+        except KeyError:
+            raise KeyError(
+                f"unknown drift trace {family!r}; available: {drift_trace_names()}"
+            ) from None
+        subs.append(builder(n_requests=per, seed=seed * 7919 + t))
+
+    # Scaled-position merge: stable order within a tenant, ties by tenant.
+    tagged = []
+    for t, sub in enumerate(subs):
+        length = len(sub)
+        for j, r in enumerate(sub):
+            tagged.append((j / length, t, j, r))
+    tagged.sort(key=lambda item: (item[0], item[1]))
+
+    merged = []
+    global_idx = [dict() for _ in subs]  # tenant -> {local j -> global i}
+    for i, (_, t, j, r) in enumerate(tagged):
+        merged.append(
+            Request(i, r.key + t * TENANT_STRIDE, r.size, tenant=t)
+        )
+        global_idx[t][j] = i
+
+    name = "tenancy-" + "+".join(families)
+    tr = Trace(merged, name=name)
+    bounds = []
+    tenant_meta = {}
+    for t, sub in enumerate(subs):
+        local = getattr(sub, "phase_bounds", [(0, len(sub), sub.name)])
+        for start, end, phase in local:
+            bounds.append(
+                (global_idx[t][start], global_idx[t][end - 1] + 1, f"t{t}:{phase}")
+            )
+        tenant_meta[t] = {
+            "family": families[t],
+            "requests": len(sub),
+            "working_set_size": sub.working_set_size,
+            "phase_bounds": list(local),
+        }
+    bounds.sort()
+    tr.phase_bounds = bounds
+    tr.tenant_meta = tenant_meta
+    return tr
 
 
 #: Registered drift families: name -> builder(n_requests, seed) -> Trace.

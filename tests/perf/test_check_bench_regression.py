@@ -78,3 +78,43 @@ class TestMain:
         cand = docs("cand.json", {"a": 1.0})
         argv = ["--baseline", base, "--candidate", cand, "--metric", "zz"]
         assert tool.main(argv) == 2
+
+
+class TestSchemaAssertion:
+    def test_matching_schema_compares(self, docs):
+        base = docs("base.json", {"schema": 1, "results": {"tps": 100.0}})
+        cand = docs("cand.json", {"schema": 1, "results": {"tps": 99.0}})
+        argv = [
+            "--baseline", base, "--candidate", cand,
+            "--schema", "1", "--metric", "results.tps",
+        ]
+        assert tool.main(argv) == 0
+
+    def test_mismatch_fails_loudly_before_metrics(self, docs, capsys):
+        # A legacy-layout candidate must not be silently compared: even
+        # though the metric path would resolve in both docs, the schema
+        # gate rejects the pair with a config error.
+        base = docs("base.json", {"schema": 1, "results": {"tps": 100.0}})
+        cand = docs("cand.json", {"schema": 2, "results": {"tps": 100.0}})
+        argv = [
+            "--baseline", base, "--candidate", cand,
+            "--schema", "1", "--metric", "results.tps",
+        ]
+        assert tool.main(argv) == 2
+        out = capsys.readouterr().out
+        assert "schema mismatch" in out and "candidate" in out
+
+    def test_missing_schema_key_is_mismatch(self, docs):
+        base = docs("base.json", {"results": {"tps": 100.0}})
+        cand = docs("cand.json", {"schema": 1, "results": {"tps": 100.0}})
+        argv = [
+            "--baseline", base, "--candidate", cand,
+            "--schema", "1", "--metric", "results.tps",
+        ]
+        assert tool.main(argv) == 2
+
+    def test_no_schema_flag_skips_the_gate(self, docs):
+        base = docs("base.json", {"schema": 1, "results": {"tps": 100.0}})
+        cand = docs("cand.json", {"schema": 2, "results": {"tps": 100.0}})
+        argv = ["--baseline", base, "--candidate", cand, "--metric", "results.tps"]
+        assert tool.main(argv) == 0

@@ -1,0 +1,171 @@
+"""The unified bench surface: envelope, registry, CLI verb, shims."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.bench import (
+    BENCH_RESULT_SCHEMA,
+    BenchResult,
+    bench_registry,
+    config_from_doc,
+    load_bench_doc,
+    run_bench,
+)
+from repro.cli import _rewrite_legacy_bench_argv, main
+
+
+class TestEnvelope:
+    def _result(self):
+        return BenchResult(
+            target="serve",
+            target_schema=1,
+            config={"n_shards": 2},
+            results={"loadgen": {"throughput_rps": 100.0}},
+            manifest={"extra": {"serve": {}}},
+        )
+
+    def test_doc_round_trip(self, tmp_path):
+        result = self._result()
+        doc = result.as_doc()
+        assert doc["schema"] == BENCH_RESULT_SCHEMA
+        back = BenchResult.from_doc(doc)
+        assert back.results == result.results
+        assert back.config == result.config
+        path = tmp_path / "env.json"
+        path.write_text(json.dumps(doc))
+        loaded = load_bench_doc(str(path))
+        assert loaded.path == str(path)
+        assert loaded.results == result.results
+
+    def test_from_doc_rejects_legacy_layout_loudly(self):
+        with pytest.raises(ValueError, match="schema 2"):
+            BenchResult.from_doc({"schema": 2, "results": {}})
+        with pytest.raises(ValueError, match="not a unified bench doc"):
+            BenchResult.from_doc({"loadgen": {}})
+
+    def test_legacy_doc_reconstructs_the_target_shape(self):
+        legacy = self._result().legacy_doc()
+        # The subsystem shape: its own schema, config and manifest inline.
+        assert legacy["schema"] == 1
+        assert legacy["config"] == {"n_shards": 2}
+        assert legacy["manifest"] == {"extra": {"serve": {}}}
+        assert legacy["loadgen"]["throughput_rps"] == 100.0
+
+
+class TestRegistry:
+    def test_six_targets_each_fully_specified(self):
+        registry = bench_registry()
+        assert sorted(registry) == [
+            "cluster", "engine", "net", "orchestrate", "serve", "tenancy",
+        ]
+        for target, spec in registry.items():
+            assert spec.target == target
+            assert spec.default_output == f"BENCH_{target}.json"
+            assert callable(spec.runner) and callable(spec.formatter)
+            assert callable(spec.lift)
+
+    def test_unknown_target_lists_the_menu(self):
+        with pytest.raises(KeyError, match="unknown bench target.*available"):
+            run_bench("warp-drive", output=None)
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def tenancy_result(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench") / "BENCH_tenancy.json"
+        return run_bench(
+            "tenancy",
+            output=str(out),
+            n_requests=9_000,
+            window=200,
+            cooldown=1_500,
+            min_samples=50,
+            eval_every=200,
+        )
+
+    def test_envelope_written_and_typed(self, tenancy_result):
+        assert tenancy_result.schema == BENCH_RESULT_SCHEMA
+        assert tenancy_result.target == "tenancy"
+        on_disk = json.loads(open(tenancy_result.path).read())
+        assert on_disk == tenancy_result.as_doc()
+        assert on_disk["results"]["comparison"]["accounting_errors"] == 0
+        # The inner doc carries neither schema nor config nor manifest —
+        # those are envelope blocks now.
+        for hoisted in ("schema", "config", "manifest"):
+            assert hoisted not in on_disk["results"]
+
+    def test_manifest_travels_unchanged_for_reproduction(self, tenancy_result):
+        doc = tenancy_result.as_doc()
+        cfg = config_from_doc(doc)
+        assert cfg["tenants"] == doc["config"]["tenants"]
+        assert cfg["n_requests"] == 9_000
+
+    def test_seed_none_keeps_the_targets_default(self, tenancy_result):
+        # seed was not passed, so the runner used its own default (0).
+        assert tenancy_result.config["seed"] == 0
+
+    def test_engine_lift_synthesises_config_and_manifest(self):
+        result = run_bench(
+            "engine",
+            output=None,
+            quick=True,
+            policies=["LRU"],
+            n_requests=3_000,
+            repeats=1,
+        )
+        assert result.target_schema is not None
+        assert result.config["policies"] == ["LRU"]
+        assert result.manifest["extra"]["engine"] == result.config
+        cfg = config_from_doc(result.as_doc())
+        assert cfg["policies"] == ["LRU"] and "capacity_bytes" not in cfg
+
+
+class TestLegacyArgvShims:
+    def test_legacy_commands_warn_and_forward(self):
+        for legacy, target in (
+            ("serve-bench", "serve"),
+            ("orchestrate-bench", "orchestrate"),
+            ("cluster-bench", "cluster"),
+            ("net-bench", "net"),
+        ):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                argv = _rewrite_legacy_bench_argv([legacy, "--quick"])
+            assert argv == ["bench", target, "--quick"]
+            assert any(w.category is DeprecationWarning for w in caught)
+
+    def test_bare_bench_defaults_to_engine_with_a_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            argv = _rewrite_legacy_bench_argv(["bench", "-n", "1000"])
+        assert argv == ["bench", "engine", "-n", "1000"]
+        assert any(w.category is DeprecationWarning for w in caught)
+
+    def test_new_spelling_passes_through_untouched(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            argv = _rewrite_legacy_bench_argv(["bench", "tenancy", "--quick"])
+        assert argv == ["bench", "tenancy", "--quick"]
+        assert not caught
+
+    def test_unrelated_commands_untouched(self):
+        assert _rewrite_legacy_bench_argv(["simulate", "--policy", "LRU"]) == [
+            "simulate", "--policy", "LRU",
+        ]
+
+    def test_cli_end_to_end_writes_the_envelope(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_engine.json"
+        rc = main([
+            "bench", "engine", "--quick", "--policies", "LRU",
+            "-n", "2000", "--repeats", "1", "-o", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == BENCH_RESULT_SCHEMA
+        assert doc["target"] == "engine"
+        assert "LRU" in doc["results"]["results"]
+        assert f"wrote {out}" in capsys.readouterr().out

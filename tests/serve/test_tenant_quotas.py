@@ -1,0 +1,142 @@
+"""Tenant quota invariants on the live serve path.
+
+The satellite acceptance for the tenancy PR, at the service level:
+
+* an under-quota tenant never loses bytes to a neighbour's pressure, even
+  through the full async get path with sharding and origin fetches;
+* :meth:`CacheService.set_tenant_quotas` re-splits on the worker tasks
+  and evicts only from the shrunk tenant;
+* a live :meth:`swap_policy` between tenant-partitioned policies carries
+  every tenant's residents and preserves per-tenant byte accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve import CacheService, OriginConfig, RetryPolicy, SimulatedOrigin
+from repro.sim.request import Request
+from repro.tenancy import TenantPartitionedCache
+from repro.traces.drift import TENANT_STRIDE
+
+
+def _key(tenant: int, i: int) -> int:
+    return tenant * TENANT_STRIDE + i
+
+
+def _service(capacity=8_000, n_shards=2, n_tenants=2):
+    return CacheService(
+        lambda cap: TenantPartitionedCache(cap, n_tenants=n_tenants),
+        capacity,
+        n_shards=n_shards,
+        origin=SimulatedOrigin(OriginConfig(latency_mean=0.0)),
+        retry=RetryPolicy(timeout=0.5, max_retries=2, backoff_base=0.001),
+        queue_depth=0,
+    )
+
+
+def _tenant_used(service, tenant: int) -> int:
+    return sum(s.policy.inners[tenant].used for s in service.shards)
+
+
+class TestServeIsolation:
+    def test_neighbour_pressure_never_evicts_under_quota_tenant(self):
+        async def run():
+            service = _service()
+            async with service:
+                # Tenant 0 parks a small resident set, well under quota.
+                for i in range(6):
+                    await service.get(Request(i, _key(0, i), 100))
+                parked = _tenant_used(service, 0)
+                # Tenant 1 churns far past its own quota on every shard.
+                for i in range(400):
+                    await service.get(Request(100 + i, _key(1, i), 100))
+                # Tenant 0's bytes are untouched and still resident.
+                assert _tenant_used(service, 0) == parked
+                for i in range(6):
+                    outcome = await service.get(Request(900 + i, _key(0, i), 100))
+                    assert outcome.hit, f"tenant 0 lost key {i} to tenant 1"
+                for shard in service.shards:
+                    shard.policy.check_invariants()
+
+        asyncio.run(run())
+
+    def test_set_tenant_quotas_shrinks_only_the_over_quota_tenant(self):
+        async def run():
+            service = _service()
+            async with service:
+                for i in range(12):
+                    await service.get(Request(i, _key(0, i), 100))
+                    await service.get(Request(i, _key(1, i), 100))
+                t1_before = _tenant_used(service, 1)
+                ok = await service.set_tenant_quotas({0: 1_000, 1: 7_000})
+                assert ok
+                # Every shard now enforces its slice of the new split.
+                for shard in service.shards:
+                    quotas = shard.policy.quotas()
+                    assert quotas == {0: 500, 1: 3_500}
+                    shard.policy.check_invariants()
+                # The grown tenant lost nothing.
+                assert _tenant_used(service, 1) == t1_before
+
+        asyncio.run(run())
+
+    def test_quota_control_reports_unsupported_policies(self):
+        async def run():
+            from repro.cache.lru import LRUCache
+
+            service = CacheService(
+                LRUCache,
+                8_000,
+                n_shards=2,
+                origin=SimulatedOrigin(OriginConfig(latency_mean=0.0)),
+                queue_depth=0,
+            )
+            async with service:
+                return await service.set_tenant_quotas({0: 1_000, 1: 7_000})
+
+        assert asyncio.run(run()) is False
+
+
+class TestSwapPreservesTenantAccounting:
+    def test_live_swap_carries_every_tenants_residents(self):
+        async def run():
+            service = _service()
+            async with service:
+                for i in range(8):
+                    await service.get(Request(i, _key(0, i), 100))
+                for i in range(5):
+                    await service.get(Request(50 + i, _key(1, i), 100))
+                before = {t: _tenant_used(service, t) for t in (0, 1)}
+                await service.swap_policy(
+                    lambda cap: TenantPartitionedCache(cap, n_tenants=2)
+                )
+                after = {t: _tenant_used(service, t) for t in (0, 1)}
+                assert after == before, "swap changed per-tenant byte accounting"
+                # Residents are live in the new policy: all hits, no refetch.
+                fetches_before = service.origin.fetches_started
+                for i in range(8):
+                    assert (await service.get(Request(900 + i, _key(0, i), 100))).hit
+                for i in range(5):
+                    assert (await service.get(Request(950 + i, _key(1, i), 100))).hit
+                assert service.origin.fetches_started == fetches_before
+                for shard in service.shards:
+                    shard.policy.check_invariants()
+
+        asyncio.run(run())
+
+    def test_fill_path_respects_tenant_quotas(self):
+        async def run():
+            service = _service()
+            async with service:
+                # A replication fill that fits the shard but not the
+                # tenant's quota is dropped by the partition, never
+                # force-fitted by draining the tenant.
+                await service.fill(Request(0, _key(0, 1), 3_000))
+                assert _tenant_used(service, 0) == 0
+                admitted = await service.fill(Request(0, _key(0, 2), 100))
+                assert admitted
+                assert _tenant_used(service, 0) == 100
+                assert _tenant_used(service, 1) == 0
+
+        asyncio.run(run())

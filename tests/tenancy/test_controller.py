@@ -1,0 +1,136 @@
+"""The tenancy control loop: SLO accounting, burn-forced reallocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.probe import Probe
+from repro.orchestrate.controller import ControllerConfig
+from repro.sim.request import Request
+from repro.tenancy import TenancyController, TenantPartitionedCache
+from repro.traces.drift import TENANT_STRIDE
+
+
+class ListSink:
+    def __init__(self):
+        self.records = []
+
+    def write(self, rec):
+        self.records.append(rec)
+
+
+FAST = ControllerConfig(
+    hysteresis=0.02, min_gap=0.001, cooldown=500, min_samples=20, eval_every=100
+)
+
+
+def _key(tenant: int, i: int) -> int:
+    return tenant * TENANT_STRIDE + i
+
+
+class TestAccounting:
+    def test_slo_ledgers_match_request_counts_exactly(self):
+        ctl = TenancyController(10_000, 2, rate=1.0, config=FAST)
+        # Tenant 0 all misses (cold scan), tenant 1 mostly hits.
+        for i in range(400):
+            ctl.record(Request(i, _key(0, i), 100), hit=False)
+            ctl.record(Request(i, _key(1, i % 5), 100), hit=(i >= 5))
+        assert ctl.accounting_errors() == 0
+        assert ctl.tenant_requests == {0: 400, 1: 400}
+        assert ctl.tenant_hits[0] == 0 and ctl.tenant_hits[1] == 395
+        s = ctl.summary()
+        assert s["tenants"]["0"]["miss_ratio"] == 1.0
+        assert s["accounting_errors"] == 0
+
+    def test_sentinel_keys_account_to_tenant_zero(self):
+        ctl = TenancyController(10_000, 2, rate=1.0, config=FAST)
+        ctl.record(Request(0, "weird-key", 100), hit=False)
+        ctl.record(Request(1, -3, 100), hit=True)
+        assert ctl.tenant_requests == {0: 2, 1: 0}
+        assert ctl.accounting_errors() == 0
+
+
+class TestReallocation:
+    def test_starved_tenant_triggers_burn_forced_realloc(self):
+        sink = ListSink()
+        applied = []
+        ctl = TenancyController(
+            100_000,
+            2,
+            apply=lambda q: applied.append(q) or {},
+            mr_slo=0.3,
+            burn_threshold=1.5,
+            rate=1.0,
+            window=200,
+            config=FAST,
+            probe=Probe([sink]),
+        )
+        # Tenant 0 misses constantly over a wide set (burning its SLO and
+        # showing a steep live MRC); tenant 1 is all hits on a tiny set.
+        for i in range(2_000):
+            ctl.record(Request(i, _key(0, i % 600), 100), hit=False)
+            ctl.record(Request(i, _key(1, i % 3), 100), hit=True)
+        assert ctl.breaches, "burning tenant never flagged"
+        assert any(b["tenant"] == 0 for b in ctl.breaches)
+        assert ctl.reallocations, "no reallocation despite SLO pressure"
+        assert applied, "accepted proposal never applied"
+        events = {r["event"] for r in sink.records}
+        assert "slo_breach" in events and "tenant_realloc" in events
+        assert ctl.accounting_errors() == 0
+
+    def test_applied_split_always_sums_to_capacity(self):
+        ctl = TenancyController(100_000, 3, rate=1.0, window=200, config=FAST)
+        for i in range(3_000):
+            # Tenant 0 scans wide and misses; 1 and 2 sit on tiny hot sets.
+            ctl.record(Request(i, _key(0, i % 700), 100), hit=False)
+            ctl.record(Request(i, _key(1, i % 3), 100), hit=True)
+            ctl.record(Request(i, _key(2, i % 5), 100), hit=True)
+        assert ctl.reallocations, "workload skew should move the split"
+        for event in ctl.reallocations:
+            assert sum(event.alloc.values()) == 100_000
+        assert sum(ctl.alloc.values()) == 100_000
+
+    def test_observer_mode_logs_but_moves_nothing(self):
+        ctl = TenancyController(100_000, 2, apply=None, rate=1.0,
+                                window=200, config=FAST)
+        for i in range(1_500):
+            ctl.record(Request(i, _key(0, i % 500), 100), hit=False)
+            ctl.record(Request(i, _key(1, i % 3), 100), hit=True)
+        # Decisions may fire; every event carries an empty evicted map.
+        for event in ctl.reallocations:
+            assert event.evicted == {}
+
+    def test_realloc_drives_partition_quotas_end_to_end(self):
+        part = TenantPartitionedCache(50_000, 2)
+        ctl = TenancyController(
+            50_000,
+            2,
+            apply=part.set_quotas,
+            initial=part.quotas(),
+            rate=1.0,
+            window=200,
+            config=FAST,
+        )
+        for i in range(4_000):
+            req0 = Request(i, _key(0, i % 700), 100)
+            req1 = Request(i, _key(1, i % 3), 100)
+            ctl.record(req0, part.request(req0))
+            ctl.record(req1, part.request(req1))
+        assert ctl.reallocations, "controller never moved the split"
+        # The partition enforces exactly the controller's latest split.
+        assert part.quotas() == ctl.alloc
+        part.check_invariants()
+
+
+class TestValidation:
+    def test_rejects_bad_slo_and_threshold(self):
+        with pytest.raises(ValueError, match="mr_slo"):
+            TenancyController(1_000, 2, mr_slo=1.5)
+        with pytest.raises(ValueError, match="mr_slo"):
+            TenancyController(1_000, 2, mr_slo={0: 0.5, 1: 0.0})
+        with pytest.raises(ValueError, match="burn_threshold"):
+            TenancyController(1_000, 2, burn_threshold=0.0)
+
+    def test_per_tenant_slo_mapping(self):
+        ctl = TenancyController(1_000, 2, mr_slo={0: 0.2, 1: 0.8})
+        assert ctl.mr_slo == {0: 0.2, 1: 0.8}

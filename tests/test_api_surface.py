@@ -54,8 +54,23 @@ class TestApiSurface:
             "make_placement",    # cache networks
             "ZipfReceivers",     # cache networks
             "ObsConfig",         # observability
+            "TenancyController",        # multi-tenancy
+            "TenantPartitionedCache",   # multi-tenancy
+            "multi_tenant_trace",       # multi-tenancy
+            "run_bench",                # unified benchmarks
+            "bench_registry",           # unified benchmarks
         ):
             assert name in repro.api.__all__
+
+    def test_bench_facade_lists_the_targets(self):
+        registry = repro.api.bench_registry()
+        assert set(registry) == {
+            "engine", "serve", "orchestrate", "cluster", "net", "tenancy",
+        }
+        for target, spec in registry.items():
+            assert spec.target == target
+            assert spec.description, target
+            assert spec.default_output.startswith("BENCH_"), target
 
     def test_batch_facade_is_live(self):
         # The paper-scale names are functional through the facade, not

@@ -6,7 +6,8 @@ Usage::
     python tools/check_bench_regression.py \
         --baseline BENCH_engine.committed.json \
         --candidate BENCH_engine.json \
-        --metric headline.tps_batch \
+        --schema 1 \
+        --metric results.headline.tps_batch \
         --max-drop 0.15
 
 ``--metric`` is a dotted path into the JSON document (list indices allowed:
@@ -17,6 +18,14 @@ dropped by more than ``--max-drop`` (a fraction) relative to the
 baseline.  Higher-is-better is assumed; pass ``--lower-is-better`` for
 latency-style metrics, where the check instead fails on a >``max-drop``
 *increase* (the flag applies to every metric in the invocation).
+
+Bench artifacts are unified envelopes (``repro bench <target>``, schema
+:data:`repro.bench.BENCH_RESULT_SCHEMA`): the target's own document lives
+under ``results``, so gate metrics address it as ``results.<path>``.
+Pass ``--schema N`` to assert both docs carry that top-level envelope
+version — the guard that fails **loudly** (exit 2, naming the file and
+the schema it actually has) when a layout migration would otherwise make
+a dotted path silently resolve against the wrong shape.
 """
 
 from __future__ import annotations
@@ -63,6 +72,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="treat increases (not drops) as regressions",
     )
+    ap.add_argument(
+        "--schema",
+        type=int,
+        default=None,
+        help="require this top-level 'schema' in both docs (exit 2 on mismatch)",
+    )
     args = ap.parse_args(argv)
     if not 0.0 < args.max_drop < 1.0:
         print(f"--max-drop must be in (0, 1), got {args.max_drop}")
@@ -76,6 +91,20 @@ def main(argv=None) -> int:
     except (OSError, ValueError) as exc:
         print(f"cannot compare: {exc}")
         return 2
+
+    if args.schema is not None:
+        for label, path, doc in (
+            ("baseline", args.baseline, base_doc),
+            ("candidate", args.candidate, cand_doc),
+        ):
+            have = doc.get("schema") if isinstance(doc, dict) else None
+            if have != args.schema:
+                print(
+                    f"schema mismatch: {label} {path} has schema {have!r}, "
+                    f"expected {args.schema} — refusing to compare metrics "
+                    "against the wrong document layout"
+                )
+                return 2
 
     failed = False
     for metric in args.metric:
